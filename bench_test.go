@@ -1,0 +1,193 @@
+// Benchmarks regenerating each table and figure of the paper's evaluation.
+// Each benchmark runs a scaled-down version of the corresponding experiment
+// and reports IPC (and per-experiment deltas) as custom metrics, so
+// `go test -bench=. -benchmem` reproduces the paper's result set end to end.
+//
+// The benchmarks intentionally run one experiment iteration per b.N loop;
+// simulated work per iteration is fixed, so ns/op measures simulator speed
+// while the custom metrics carry the architectural results.
+package main
+
+import (
+	"testing"
+
+	"repro/internal/exp"
+	"repro/smt"
+)
+
+// benchOpts returns small but meaningful budgets for benchmark runs.
+func benchOpts() exp.Opts {
+	return exp.Opts{Runs: 2, Warmup: 20_000, Measure: 40_000, Seed: 1}
+}
+
+// BenchmarkFig3BaseThroughput regenerates Figure 3: base RR.1.8 throughput
+// at 1, 4, and 8 threads plus the unmodified superscalar.
+func BenchmarkFig3BaseThroughput(b *testing.B) {
+	o := benchOpts()
+	for i := 0; i < b.N; i++ {
+		t1 := exp.Measure(exp.MustFetchScheme(1, "RR", 1, 8), o)
+		t4 := exp.Measure(exp.MustFetchScheme(4, "RR", 1, 8), o)
+		t8 := exp.Measure(exp.MustFetchScheme(8, "RR", 1, 8), o)
+		ss := exp.Measure(smt.Superscalar(), o)
+		b.ReportMetric(t1.IPC, "IPC/1T")
+		b.ReportMetric(t4.IPC, "IPC/4T")
+		b.ReportMetric(t8.IPC, "IPC/8T")
+		b.ReportMetric(ss.IPC, "IPC/superscalar")
+		b.ReportMetric(t8.IPC/ss.IPC, "speedup/8T")
+	}
+}
+
+// BenchmarkTable3Metrics regenerates Table 3's key rows at 8 threads.
+func BenchmarkTable3Metrics(b *testing.B) {
+	o := benchOpts()
+	for i := 0; i < b.N; i++ {
+		rows := exp.Table3(o)
+		last := rows[len(rows)-1].Res
+		b.ReportMetric(last.Caches[0].MissRate*100, "I$miss%/8T")
+		b.ReportMetric(last.Caches[1].MissRate*100, "D$miss%/8T")
+		b.ReportMetric(last.BranchMispredict*100, "brMis%/8T")
+		b.ReportMetric(last.IntIQFull*100, "intIQfull%/8T")
+		b.ReportMetric(last.WrongPathFetched*100, "wrongPathFetch%/8T")
+	}
+}
+
+// BenchmarkFig4FetchPartitioning regenerates Figure 4 at 8 threads: the
+// four partitioning schemes.
+func BenchmarkFig4FetchPartitioning(b *testing.B) {
+	o := benchOpts()
+	schemes := []struct {
+		name       string
+		num1, num2 int
+	}{{"RR.1.8", 1, 8}, {"RR.2.4", 2, 4}, {"RR.4.2", 4, 2}, {"RR.2.8", 2, 8}}
+	for i := 0; i < b.N; i++ {
+		for _, s := range schemes {
+			p := exp.Measure(exp.MustFetchScheme(8, "RR", s.num1, s.num2), o)
+			b.ReportMetric(p.IPC, "IPC/"+s.name)
+		}
+	}
+}
+
+// BenchmarkFig5FetchPolicies regenerates Figure 5 at 8 threads: all five
+// fetch-choice heuristics under the 2.8 scheme.
+func BenchmarkFig5FetchPolicies(b *testing.B) {
+	o := benchOpts()
+	for i := 0; i < b.N; i++ {
+		for _, alg := range exp.Fig5Algs {
+			p := exp.Measure(exp.MustFetchScheme(8, alg, 2, 8), o)
+			b.ReportMetric(p.IPC, "IPC/"+alg+".2.8")
+		}
+	}
+}
+
+// BenchmarkTable4RRvsICount regenerates Table 4: queue pressure under RR
+// versus ICOUNT at 8 threads.
+func BenchmarkTable4RRvsICount(b *testing.B) {
+	o := benchOpts()
+	for i := 0; i < b.N; i++ {
+		_, rr, ic := exp.Table4(o)
+		b.ReportMetric(rr.IntIQFull*100, "intIQfull%/RR")
+		b.ReportMetric(ic.IntIQFull*100, "intIQfull%/ICOUNT")
+		b.ReportMetric(rr.IPC, "IPC/RR.2.8")
+		b.ReportMetric(ic.IPC, "IPC/ICOUNT.2.8")
+	}
+}
+
+// BenchmarkFig6BigqItag regenerates Figure 6 at 8 threads: BIGQ and ITAG
+// on top of ICOUNT.
+func BenchmarkFig6BigqItag(b *testing.B) {
+	o := benchOpts()
+	for i := 0; i < b.N; i++ {
+		for _, v := range []struct {
+			name string
+			mod  func(*smt.Config)
+		}{
+			{"ICOUNT.2.8", func(*smt.Config) {}},
+			{"BIGQ", func(c *smt.Config) { c.BigQ = true }},
+			{"ITAG", func(c *smt.Config) { c.ITAG = true }},
+		} {
+			cfg := exp.ICount28(8)
+			v.mod(&cfg)
+			p := exp.Measure(cfg, o)
+			b.ReportMetric(p.IPC, "IPC/"+v.name)
+		}
+	}
+}
+
+// BenchmarkTable5IssuePolicies regenerates Table 5 at 8 threads: the four
+// issue policies and the useless-issue breakdown.
+func BenchmarkTable5IssuePolicies(b *testing.B) {
+	o := benchOpts()
+	for i := 0; i < b.N; i++ {
+		for _, pol := range []struct {
+			name string
+			alg  func(*smt.Config)
+		}{
+			{"OLDEST", func(c *smt.Config) { c.IssuePolicy = smt.IssueOldestFirst }},
+			{"OPT_LAST", func(c *smt.Config) { c.IssuePolicy = smt.IssueOptLast }},
+			{"SPEC_LAST", func(c *smt.Config) { c.IssuePolicy = smt.IssueSpecLast }},
+			{"BRANCH_FIRST", func(c *smt.Config) { c.IssuePolicy = smt.IssueBranchFirst }},
+		} {
+			cfg := exp.ICount28(8)
+			pol.alg(&cfg)
+			p := exp.Measure(cfg, o)
+			b.ReportMetric(p.IPC, "IPC/"+pol.name)
+			if pol.name == "OLDEST" {
+				b.ReportMetric(p.Results.UselessIssue*100, "uselessIssue%")
+			}
+		}
+	}
+}
+
+// BenchmarkSec7Bottlenecks regenerates the Section 7 bottleneck deltas that
+// the paper quantifies around the ICOUNT.2.8 design.
+func BenchmarkSec7Bottlenecks(b *testing.B) {
+	o := benchOpts()
+	for i := 0; i < b.N; i++ {
+		base := exp.Measure(exp.ICount28(8), o).IPC
+		for _, c := range []struct {
+			name string
+			mod  func(*smt.Config)
+		}{
+			{"infFU", func(c *smt.Config) { c.InfiniteFUs = true }},
+			{"iq64", func(c *smt.Config) { c.IQSize = 64 }},
+			{"fetch16", func(c *smt.Config) { c.FetchTotal = 16 }},
+			{"perfectBP", func(c *smt.Config) { c.PerfectBranchPred = true }},
+			{"infMemBW", func(c *smt.Config) { c.Mem.InfiniteBW = true }},
+			{"regs70", func(c *smt.Config) { c.Rename.ExcessRegs = 70 }},
+		} {
+			cfg := exp.ICount28(8)
+			c.mod(&cfg)
+			p := exp.Measure(cfg, o)
+			b.ReportMetric((p.IPC/base-1)*100, "delta%/"+c.name)
+		}
+	}
+}
+
+// BenchmarkFig7RegisterBudget regenerates Figure 7: a fixed 200-register
+// budget across 1-5 hardware contexts.
+func BenchmarkFig7RegisterBudget(b *testing.B) {
+	o := benchOpts()
+	for i := 0; i < b.N; i++ {
+		for _, t := range []int{1, 2, 3, 4, 5} {
+			cfg := exp.ICount28(t)
+			cfg.Rename.ExcessRegs = 0
+			cfg.Rename.TotalRegs = 200
+			p := exp.Measure(cfg, o)
+			b.ReportMetric(p.IPC, "IPC/"+string(rune('0'+t))+"T")
+		}
+	}
+}
+
+// BenchmarkSimulatorSpeed measures raw simulation speed (simulated
+// instructions per wall-clock second) on the 8-thread ICOUNT.2.8 machine.
+func BenchmarkSimulatorSpeed(b *testing.B) {
+	cfg := exp.ICount28(8)
+	sim := smt.MustNew(cfg, smt.WorkloadMix(8, 0, 1))
+	sim.Warmup(100_000)
+	b.ResetTimer()
+	const chunk = 50_000
+	for i := 0; i < b.N; i++ {
+		sim.Run(chunk)
+	}
+	b.SetBytes(chunk) // bytes stand in for instructions: B/s == instructions/s
+}

@@ -1,0 +1,179 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (Tullsen et al., ISCA 1996). Each experiment prints the same
+// rows or series the paper reports; see EXPERIMENTS.md for the side-by-side
+// comparison with the published numbers.
+//
+// Usage:
+//
+//	experiments -run all
+//	experiments -run fig3,table3 -runs 4 -measure 100000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	var (
+		run     = flag.String("run", "all", "comma-separated experiments: fig3,table3,fig4,fig5,table4,fig6,table5,sec7,fig7")
+		runs    = flag.Int("runs", 4, "benchmark rotations per data point")
+		warmup  = flag.Int64("warmup", 30000, "warmup instructions per thread")
+		measure = flag.Int64("measure", 60000, "measured instructions per thread")
+		seed    = flag.Uint64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+
+	o := exp.Opts{Runs: *runs, Warmup: *warmup, Measure: *measure, Seed: *seed}
+	want := map[string]bool{}
+	for _, name := range strings.Split(*run, ",") {
+		want[strings.TrimSpace(name)] = true
+	}
+	all := want["all"]
+
+	ran := false
+	for _, e := range experiments {
+		if all || want[e.name] {
+			fmt.Printf("==== %s — %s ====\n", e.name, e.title)
+			e.fn(o)
+			fmt.Println()
+			ran = true
+		}
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *run)
+		os.Exit(2)
+	}
+}
+
+var experiments = []struct {
+	name  string
+	title string
+	fn    func(exp.Opts)
+}{
+	{"fig3", "Figure 3: base RR.1.8 throughput vs. threads", runFig3},
+	{"table3", "Table 3: low-level metrics at 1, 4, 8 threads (RR.1.8)", runTable3},
+	{"fig4", "Figure 4: fetch partitioning schemes", runFig4},
+	{"fig5", "Figure 5: fetch-choice policies", runFig5},
+	{"table4", "Table 4: RR vs ICOUNT low-level metrics", runTable4},
+	{"fig6", "Figure 6: BIGQ and ITAG on top of ICOUNT", runFig6},
+	{"table5", "Table 5: issue policies", runTable5},
+	{"sec7", "Section 7: bottleneck studies around ICOUNT.2.8", runSec7},
+	{"fig7", "Figure 7: 200 physical registers, 1-5 contexts", runFig7},
+}
+
+func runFig3(o exp.Opts) {
+	base, ss := exp.Fig3(o)
+	fmt.Printf("%-12s %s\n", "threads", "IPC")
+	for _, p := range base {
+		fmt.Printf("%-12d %.2f\n", p.Threads, p.IPC)
+	}
+	fmt.Printf("%-12s %.2f\n", "superscalar", ss.IPC)
+}
+
+func runTable3(o exp.Opts) {
+	rows := exp.Table3(o)
+	fmt.Printf("%-40s", "metric")
+	for _, r := range rows {
+		fmt.Printf("%10s", fmt.Sprintf("T=%d", r.Threads))
+	}
+	fmt.Println()
+	metric := func(name string, f func(i int) string) {
+		fmt.Printf("%-40s", name)
+		for i := range rows {
+			fmt.Printf("%10s", f(i))
+		}
+		fmt.Println()
+	}
+	pct := func(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }
+	metric("throughput (IPC)", func(i int) string { return fmt.Sprintf("%.2f", rows[i].Res.IPC) })
+	metric("out-of-registers (% of cycles)", func(i int) string { return pct(rows[i].Res.OutOfRegisters) })
+	metric("I cache miss rate", func(i int) string { return pct(rows[i].Res.Caches[0].MissRate) })
+	metric("-misses per thousand instructions", func(i int) string { return fmt.Sprintf("%.0f", rows[i].Res.Caches[0].PerK) })
+	metric("D cache miss rate", func(i int) string { return pct(rows[i].Res.Caches[1].MissRate) })
+	metric("-misses per thousand instructions", func(i int) string { return fmt.Sprintf("%.0f", rows[i].Res.Caches[1].PerK) })
+	metric("L2 cache miss rate", func(i int) string { return pct(rows[i].Res.Caches[2].MissRate) })
+	metric("-misses per thousand instructions", func(i int) string { return fmt.Sprintf("%.0f", rows[i].Res.Caches[2].PerK) })
+	metric("L3 cache miss rate", func(i int) string { return pct(rows[i].Res.Caches[3].MissRate) })
+	metric("-misses per thousand instructions", func(i int) string { return fmt.Sprintf("%.0f", rows[i].Res.Caches[3].PerK) })
+	metric("branch misprediction rate", func(i int) string { return pct(rows[i].Res.BranchMispredict) })
+	metric("jump misprediction rate", func(i int) string { return pct(rows[i].Res.JumpMispredict) })
+	metric("integer IQ-full (% of cycles)", func(i int) string { return pct(rows[i].Res.IntIQFull) })
+	metric("fp IQ-full (% of cycles)", func(i int) string { return pct(rows[i].Res.FPIQFull) })
+	metric("avg (combined) queue population", func(i int) string { return fmt.Sprintf("%.0f", rows[i].Res.AvgQueuePop) })
+	metric("wrong-path instructions fetched", func(i int) string { return pct(rows[i].Res.WrongPathFetched) })
+	metric("wrong-path instructions issued", func(i int) string { return pct(rows[i].Res.WrongPathIssued) })
+}
+
+func printSeries(series map[string][]exp.Point) {
+	names := make([]string, 0, len(series))
+	for name := range series {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	first := series[names[0]]
+	fmt.Printf("%-20s", "scheme\\threads")
+	for _, p := range first {
+		fmt.Printf("%8d", p.Threads)
+	}
+	fmt.Println()
+	for _, name := range names {
+		fmt.Printf("%-20s", name)
+		for _, p := range series[name] {
+			fmt.Printf("%8.2f", p.IPC)
+		}
+		fmt.Println()
+	}
+}
+
+func runFig4(o exp.Opts) { printSeries(exp.Fig4(o)) }
+func runFig5(o exp.Opts) { printSeries(exp.Fig5(o)) }
+func runFig6(o exp.Opts) { printSeries(exp.Fig6(o)) }
+
+func runTable4(o exp.Opts) {
+	one, rr, ic := exp.Table4(o)
+	fmt.Printf("%-36s %12s %12s %12s\n", "metric", "1 thread", "RR.2.8", "ICOUNT.2.8")
+	pct := func(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }
+	fmt.Printf("%-36s %12.2f %12.2f %12.2f\n", "throughput (IPC)", one.IPC, rr.IPC, ic.IPC)
+	fmt.Printf("%-36s %12s %12s %12s\n", "integer IQ-full (% of cycles)", pct(one.IntIQFull), pct(rr.IntIQFull), pct(ic.IntIQFull))
+	fmt.Printf("%-36s %12s %12s %12s\n", "fp IQ-full (% of cycles)", pct(one.FPIQFull), pct(rr.FPIQFull), pct(ic.FPIQFull))
+	fmt.Printf("%-36s %12.0f %12.0f %12.0f\n", "avg queue population", one.AvgQueuePop, rr.AvgQueuePop, ic.AvgQueuePop)
+	fmt.Printf("%-36s %12s %12s %12s\n", "out-of-registers (% of cycles)", pct(one.OutOfRegisters), pct(rr.OutOfRegisters), pct(ic.OutOfRegisters))
+}
+
+func runTable5(o exp.Opts) {
+	rows := exp.Table5(o)
+	fmt.Printf("%-14s", "policy")
+	for _, t := range exp.ThreadCounts {
+		fmt.Printf("%8d", t)
+	}
+	fmt.Printf("%14s%14s\n", "wrong-path", "optimistic")
+	for _, r := range rows {
+		fmt.Printf("%-14s", r.Policy)
+		for _, t := range exp.ThreadCounts {
+			fmt.Printf("%8.2f", r.IPC[t])
+		}
+		fmt.Printf("%13.1f%%%13.1f%%\n", r.WrongPath*100, r.Optimistic*100)
+	}
+}
+
+func runSec7(o exp.Opts) {
+	results := exp.Sec7(o)
+	fmt.Printf("%-40s %8s %10s %10s %8s\n", "experiment", "threads", "baseline", "modified", "delta")
+	for _, r := range results {
+		fmt.Printf("%-40s %8d %10.2f %10.2f %+7.1f%%\n", r.Name, r.Threads, r.Baseline, r.Modified, r.Delta()*100)
+	}
+}
+
+func runFig7(o exp.Opts) {
+	pts := exp.Fig7(o)
+	fmt.Printf("%-12s %s\n", "contexts", "IPC (200 physical registers)")
+	for _, p := range pts {
+		fmt.Printf("%-12d %.2f\n", p.Threads, p.IPC)
+	}
+}

@@ -1,0 +1,109 @@
+// Command smtsim runs a single machine configuration and prints its
+// statistics — the quickest way to explore the design space by hand.
+//
+// Examples:
+//
+//	smtsim -threads 8 -fetch ICOUNT -nfetch 2 -wfetch 8
+//	smtsim -threads 1 -superscalar
+//	smtsim -threads 8 -fetch RR -issue OPT_LAST -bigq -itag
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/policy"
+	"repro/smt"
+)
+
+func main() {
+	var (
+		threads     = flag.Int("threads", 8, "hardware contexts (1-8)")
+		fetchAlg    = flag.String("fetch", "RR", "fetch policy: RR, BRCOUNT, MISSCOUNT, ICOUNT, IQPOSN")
+		nFetch      = flag.Int("nfetch", 1, "threads fetched per cycle (num1)")
+		wFetch      = flag.Int("wfetch", 8, "max instructions per thread per cycle (num2)")
+		issueAlg    = flag.String("issue", "OLDEST_FIRST", "issue policy: OLDEST_FIRST, OPT_LAST, SPEC_LAST, BRANCH_FIRST")
+		bigq        = flag.Bool("bigq", false, "double-size buffered instruction queues")
+		itag        = flag.Bool("itag", false, "early I-cache tag lookup")
+		superscalar = flag.Bool("superscalar", false, "unmodified superscalar baseline (forces 1 thread)")
+		perfectBP   = flag.Bool("perfectbp", false, "perfect branch prediction")
+		excess      = flag.Int("excess", 100, "renaming registers beyond threads*32, per file")
+		warmup      = flag.Int64("warmup", 30000, "warmup instructions per thread")
+		measure     = flag.Int64("measure", 100000, "measured instructions per thread")
+		seed        = flag.Uint64("seed", 1, "workload seed")
+		rotate      = flag.Int("rotate", 0, "benchmark rotation (which mix of the 8 benchmarks)")
+		bench       = flag.String("bench", "", "comma-separated benchmark names (overrides -rotate)")
+	)
+	flag.Parse()
+
+	var cfg smt.Config
+	if *superscalar {
+		cfg = smt.Superscalar()
+	} else {
+		cfg = smt.DefaultConfig(*threads)
+	}
+	fa, err := policy.ParseFetchAlg(*fetchAlg)
+	if err != nil {
+		fatal(err)
+	}
+	cfg.FetchPolicy = fa
+	ia, err := policy.ParseIssueAlg(*issueAlg)
+	if err != nil {
+		fatal(err)
+	}
+	cfg.IssuePolicy = ia
+	cfg.FetchThreads = min(*nFetch, cfg.Threads)
+	cfg.FetchPerThread = *wFetch
+	cfg.BigQ = *bigq
+	cfg.ITAG = *itag
+	cfg.PerfectBranchPred = *perfectBP
+	cfg.Rename.ExcessRegs = *excess
+
+	spec := smt.WorkloadMix(cfg.Threads, *rotate, *seed)
+	if *bench != "" {
+		spec.Names = strings.Split(*bench, ",")
+	}
+	sim, err := smt.New(cfg, spec)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("machine: %s  threads=%d  issue=%s  workload=%v\n",
+		cfg.FetchName(), cfg.Threads, cfg.IssuePolicy, spec.Names)
+	sim.Warmup(*warmup * int64(cfg.Threads))
+	res := sim.Run(*measure * int64(cfg.Threads))
+
+	fmt.Printf("\ncycles:             %d\n", res.Cycles)
+	fmt.Printf("committed:          %d\n", res.Committed)
+	fmt.Printf("throughput:         %.2f IPC\n", res.IPC)
+	fmt.Printf("per-thread commits: %v\n", res.CommittedByThread)
+	fmt.Printf("\nbranch mispredict:  %.1f%%\n", res.BranchMispredict*100)
+	fmt.Printf("jump mispredict:    %.1f%%\n", res.JumpMispredict*100)
+	fmt.Printf("wrong-path fetched: %.1f%%\n", res.WrongPathFetched*100)
+	fmt.Printf("wrong-path issued:  %.1f%%\n", res.WrongPathIssued*100)
+	fmt.Printf("optimistic squash:  %.1f%%\n", res.OptimisticSquash*100)
+	fmt.Printf("\nint IQ-full:        %.1f%% of cycles\n", res.IntIQFull*100)
+	fmt.Printf("fp IQ-full:         %.1f%% of cycles\n", res.FPIQFull*100)
+	fmt.Printf("out-of-registers:   %.1f%% of cycles\n", res.OutOfRegisters*100)
+	fmt.Printf("avg queue pop:      %.1f\n", res.AvgQueuePop)
+	fmt.Println()
+	for i, name := range smt.CacheNames {
+		c := res.Caches[i]
+		fmt.Printf("%-7s miss rate:  %5.1f%%   (%.0f misses per 1000 instructions)\n",
+			name, c.MissRate*100, c.PerK)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "smtsim:", err)
+	os.Exit(1)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,40 @@
+// fetchpolicy compares the paper's five fetch thread-choice heuristics
+// (Section 5.2) on the same 8-context machine and workload — the "exploiting
+// choice" experiment in miniature. Expect ICOUNT to win and round-robin to
+// trail, with the counter policies in between.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/policy"
+	"repro/smt"
+)
+
+func main() {
+	algs := []policy.FetchAlg{
+		smt.FetchRR, smt.FetchBRCount, smt.FetchMissCount,
+		smt.FetchICount, smt.FetchIQPosn,
+	}
+
+	fmt.Println("fetch policy comparison, 8 threads, 2.8 partitioning")
+	fmt.Printf("%-12s %8s %12s %14s\n", "policy", "IPC", "IQ-full", "wrong-path")
+
+	for _, alg := range algs {
+		cfg := smt.DefaultConfig(8)
+		cfg.FetchPolicy = alg
+		cfg.FetchThreads = 2 // the flexible 2.8 scheme
+
+		sim := smt.MustNew(cfg, smt.WorkloadMix(8, 0, 7))
+		sim.Warmup(240_000)
+		res := sim.Run(800_000)
+
+		fmt.Printf("%-12s %8.2f %11.1f%% %13.1f%%\n",
+			alg, res.IPC, res.IntIQFull*100, res.WrongPathFetched*100)
+	}
+
+	fmt.Println("\nThe instruction-counting policy (ICOUNT) keeps the queues")
+	fmt.Println("drained and balanced, which is why it leads (or ties for the")
+	fmt.Println("lead on single mixes like this one) — the paper's central")
+	fmt.Println("result. cmd/experiments averages rotations for clean numbers.")
+}

@@ -1,0 +1,42 @@
+// multiprogram demonstrates the paper's measurement methodology (Section 3):
+// a data point is composed of several runs, each assigning a different
+// combination of benchmarks to the hardware contexts, so that no benchmark's
+// idiosyncrasies dominate. It also shows per-thread commit counts — SMT
+// shares the machine unevenly by design, favoring threads that use it well.
+package main
+
+import (
+	"fmt"
+
+	"repro/smt"
+)
+
+func main() {
+	const threads = 4
+	cfg := smt.DefaultConfig(threads)
+	cfg.FetchPolicy = smt.FetchICount
+	cfg.FetchThreads = 2
+
+	fmt.Printf("%d-context machine, %s — four rotations of the benchmark mix\n\n",
+		threads, cfg.FetchName())
+
+	var ipcSum float64
+	const rotations = 4
+	for rot := 0; rot < rotations; rot++ {
+		spec := smt.WorkloadMix(threads, rot, 11)
+		sim := smt.MustNew(cfg, spec)
+		sim.Warmup(120_000)
+		res := sim.Run(400_000)
+		ipcSum += res.IPC
+
+		fmt.Printf("run %d: %v\n", rot, spec.Names)
+		fmt.Printf("  IPC %.2f, per-thread commits:", res.IPC)
+		for i, c := range res.CommittedByThread {
+			fmt.Printf("  %s=%d", spec.Names[i], c)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("\naveraged throughput over %d rotations: %.2f IPC\n", rotations, ipcSum/rotations)
+	fmt.Println("(threads with more exploitable parallelism commit more — the")
+	fmt.Println(" fetch policy deliberately favors efficient threads)")
+}

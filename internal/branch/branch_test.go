@@ -1,0 +1,309 @@
+package branch
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+)
+
+func newTest(t *testing.T, threads int) *Predictor {
+	t.Helper()
+	p, err := New(DefaultConfig(threads))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestDefaultConfigMatchesPaper(t *testing.T) {
+	c := DefaultConfig(8)
+	if c.BTBEntries != 256 || c.BTBAssoc != 4 || c.PHTEntries != 2048 || c.RASEntries != 12 {
+		t.Fatalf("default config %+v does not match Section 2.1", c)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{BTBEntries: 256, BTBAssoc: 4, PHTEntries: 2048, RASEntries: 12, Threads: 0},
+		{BTBEntries: 0, BTBAssoc: 4, PHTEntries: 2048, RASEntries: 12, Threads: 1},
+		{BTBEntries: 255, BTBAssoc: 4, PHTEntries: 2048, RASEntries: 12, Threads: 1},
+		{BTBEntries: 192, BTBAssoc: 4, PHTEntries: 2048, RASEntries: 12, Threads: 1}, // 48 sets
+		{BTBEntries: 256, BTBAssoc: 4, PHTEntries: 1000, RASEntries: 12, Threads: 1},
+		{BTBEntries: 256, BTBAssoc: 4, PHTEntries: 2048, RASEntries: 0, Threads: 1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error for %+v", i, c)
+		}
+	}
+}
+
+// TestPHTTrains: a branch always taken at one PC should saturate toward
+// taken after a few updates.
+func TestPHTTrains(t *testing.T) {
+	p := newTest(t, 1)
+	pc := int64(0x1000)
+	if p.Direction(0, pc) {
+		t.Fatal("PHT should initialize weakly not-taken")
+	}
+	for i := 0; i < 4; i++ {
+		h := p.History(0)
+		p.Update(0, pc, isa.ClassBranch, true, 0x2000, h)
+	}
+	if !p.Direction(0, pc) {
+		t.Fatal("PHT failed to learn an always-taken branch")
+	}
+	for i := 0; i < 8; i++ {
+		h := p.History(0)
+		p.Update(0, pc, isa.ClassBranch, false, 0x2000, h)
+	}
+	if p.Direction(0, pc) {
+		t.Fatal("PHT failed to unlearn")
+	}
+}
+
+// TestGshareUsesHistory: with different global histories the same PC should
+// map to different PHT entries (that is the point of gshare).
+func TestGshareUsesHistory(t *testing.T) {
+	p := newTest(t, 1)
+	pc := int64(0x4000)
+	i1 := p.phtIndex(0, pc)
+	p.SpeculateHistory(0, true)
+	i2 := p.phtIndex(0, pc)
+	if i1 == i2 {
+		t.Fatal("history did not affect PHT index")
+	}
+}
+
+func TestHistoryCheckpointRestore(t *testing.T) {
+	p := newTest(t, 2)
+	cp1 := p.SpeculateHistory(1, true)
+	cp2 := p.SpeculateHistory(1, false)
+	p.SpeculateHistory(1, true)
+	p.RestoreHistory(1, cp2)
+	if got := p.History(1); got != cp2 {
+		t.Fatalf("restore to cp2: history %b want %b", got, cp2)
+	}
+	p.RestoreHistory(1, cp1)
+	if got := p.History(1); got != 0 {
+		t.Fatalf("restore to cp1: history %b want 0", got)
+	}
+	// Thread 0's history must be untouched.
+	if p.History(0) != 0 {
+		t.Fatal("cross-thread history contamination")
+	}
+}
+
+func TestBTBHitAfterInstall(t *testing.T) {
+	p := newTest(t, 4)
+	p.Update(2, 0x1000, isa.ClassJump, true, 0xBEEF0, p.History(2))
+	if tgt, ok := p.Target(2, 0x1000); !ok || tgt != 0xBEEF0 {
+		t.Fatalf("BTB lookup = %#x, %v", tgt, ok)
+	}
+	if _, ok := p.Target(2, 0x1040); ok {
+		t.Fatal("BTB hit for never-installed PC")
+	}
+}
+
+// TestBTBThreadTagging: entries installed by one thread must not be
+// returned for another (phantom-branch avoidance, Section 2).
+func TestBTBThreadTagging(t *testing.T) {
+	p := newTest(t, 8)
+	p.Update(3, 0x1000, isa.ClassJump, true, 0xAAAA0, p.History(3))
+	if _, ok := p.Target(4, 0x1000); ok {
+		t.Fatal("thread 4 hit thread 3's BTB entry")
+	}
+	if tgt, ok := p.Target(3, 0x1000); !ok || tgt != 0xAAAA0 {
+		t.Fatal("thread 3 lost its own entry")
+	}
+}
+
+// TestBTBLRUEviction: filling a set beyond its associativity evicts the
+// least recently used entry, not the most recent.
+func TestBTBLRUEviction(t *testing.T) {
+	cfg := DefaultConfig(1)
+	p := MustNew(cfg)
+	sets := cfg.BTBEntries / cfg.BTBAssoc
+	// PCs mapping to the same set: stride = sets * 4 bytes.
+	pcAt := func(i int) int64 { return int64(0x8000 + i*sets*4) }
+	for i := 0; i < cfg.BTBAssoc; i++ {
+		p.Update(0, pcAt(i), isa.ClassJump, true, int64(0x100+i), 0)
+	}
+	// Touch entry 0 so entry 1 becomes LRU.
+	if _, ok := p.Target(0, pcAt(0)); !ok {
+		t.Fatal("entry 0 missing before eviction")
+	}
+	p.Update(0, pcAt(cfg.BTBAssoc), isa.ClassJump, true, 0x999, 0)
+	if _, ok := p.Target(0, pcAt(0)); !ok {
+		t.Fatal("recently used entry was evicted")
+	}
+	if _, ok := p.Target(0, pcAt(1)); ok {
+		t.Fatal("LRU entry survived eviction")
+	}
+}
+
+func TestBTBUpdateRefreshesExisting(t *testing.T) {
+	p := newTest(t, 1)
+	p.Update(0, 0x2000, isa.ClassJumpInd, true, 0x3000, 0)
+	p.Update(0, 0x2000, isa.ClassJumpInd, true, 0x4000, 0)
+	if tgt, _ := p.Target(0, 0x2000); tgt != 0x4000 {
+		t.Fatalf("BTB target not refreshed: %#x", tgt)
+	}
+}
+
+func TestRASPushPop(t *testing.T) {
+	p := newTest(t, 2)
+	p.PushReturn(0, 0x100)
+	p.PushReturn(0, 0x200)
+	if tgt, ok, _ := p.PopReturn(0); !ok || tgt != 0x200 {
+		t.Fatalf("pop = %#x, %v", tgt, ok)
+	}
+	if tgt, ok, _ := p.PopReturn(0); !ok || tgt != 0x100 {
+		t.Fatalf("pop = %#x, %v", tgt, ok)
+	}
+	if _, ok, _ := p.PopReturn(0); ok {
+		t.Fatal("pop from empty stack succeeded")
+	}
+}
+
+func TestRASPerThread(t *testing.T) {
+	p := newTest(t, 2)
+	p.PushReturn(0, 0xAAA8)
+	p.PushReturn(1, 0xBBB8)
+	if tgt, ok, _ := p.PopReturn(0); !ok || tgt != 0xAAA8 {
+		t.Fatalf("thread 0 pop = %#x, %v", tgt, ok)
+	}
+	if tgt, ok, _ := p.PopReturn(1); !ok || tgt != 0xBBB8 {
+		t.Fatalf("thread 1 pop = %#x, %v", tgt, ok)
+	}
+}
+
+// TestRASOverflowWrap: pushing beyond capacity keeps the most recent
+// RASEntries returns (a 12-deep circular stack, per the paper).
+func TestRASOverflowWrap(t *testing.T) {
+	cfg := DefaultConfig(1)
+	p := MustNew(cfg)
+	n := cfg.RASEntries + 3
+	for i := 0; i < n; i++ {
+		p.PushReturn(0, int64(i*8))
+	}
+	if p.RASDepth(0) != cfg.RASEntries {
+		t.Fatalf("depth = %d, want %d", p.RASDepth(0), cfg.RASEntries)
+	}
+	for i := n - 1; i >= n-cfg.RASEntries; i-- {
+		tgt, ok, _ := p.PopReturn(0)
+		if !ok || tgt != int64(i*8) {
+			t.Fatalf("pop %d = %#x, %v; want %#x", i, tgt, ok, i*8)
+		}
+	}
+}
+
+// TestRASCheckpointUndo: undoing a push and a pop in reverse order restores
+// the stack exactly.
+func TestRASCheckpointUndo(t *testing.T) {
+	p := newTest(t, 1)
+	p.PushReturn(0, 0x10)
+	p.PushReturn(0, 0x20)
+	// Speculative pop then push (wrong-path call after wrong-path return).
+	tgt, ok, cpPop := p.PopReturn(0)
+	if !ok || tgt != 0x20 {
+		t.Fatal("setup pop failed")
+	}
+	cpPush := p.PushReturn(0, 0x99)
+	// Restore in reverse order.
+	p.RestoreRAS(0, cpPush)
+	p.RestoreRAS(0, cpPop)
+	if tgt, ok, _ := p.PopReturn(0); !ok || tgt != 0x20 {
+		t.Fatalf("after undo, pop = %#x, %v; want 0x20", tgt, ok)
+	}
+	if tgt, ok, _ := p.PopReturn(0); !ok || tgt != 0x10 {
+		t.Fatalf("after undo, second pop = %#x, %v; want 0x10", tgt, ok)
+	}
+}
+
+// Property: a push followed immediately by its restore leaves depth and
+// subsequent pops unchanged, from any reachable stack state.
+func TestRASPushUndoProperty(t *testing.T) {
+	f := func(ops []bool, addr int64) bool {
+		p := MustNew(DefaultConfig(1))
+		for i, push := range ops {
+			if push {
+				p.PushReturn(0, int64(i+1)*8)
+			} else {
+				p.PopReturn(0)
+			}
+		}
+		before := p.RASDepth(0)
+		cp := p.PushReturn(0, addr)
+		p.RestoreRAS(0, cp)
+		return p.RASDepth(0) == before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPredictabilityOfPatterns: gshare with 11 bits of history must learn a
+// short repeating pattern at a single PC essentially perfectly.
+func TestPredictabilityOfPatterns(t *testing.T) {
+	p := newTest(t, 1)
+	pc := int64(0x7700)
+	pattern := []bool{true, true, false}
+	correct, total := 0, 0
+	for i := 0; i < 3000; i++ {
+		actual := pattern[i%len(pattern)]
+		pred := p.Direction(0, pc)
+		h := p.SpeculateHistory(0, actual) // history tracks actual outcome
+		p.Update(0, pc, isa.ClassBranch, actual, 0, h)
+		if i > 300 {
+			total++
+			if pred == actual {
+				correct++
+			}
+		}
+	}
+	if acc := float64(correct) / float64(total); acc < 0.95 {
+		t.Fatalf("gshare accuracy on period-3 pattern = %.3f, want > 0.95", acc)
+	}
+}
+
+// TestSharedPHTInterference: two threads whose branches alias to the same
+// PHT counters and train opposite directions must degrade each other — the
+// mechanism behind the paper's Table 3 mispredict growth with thread count.
+// History is disabled so the aliasing is exact and the effect deterministic.
+func TestSharedPHTInterference(t *testing.T) {
+	cfg := DefaultConfig(2)
+	cfg.HistoryLen = 0
+	acc := func(p *Predictor, interfere bool) float64 {
+		correct, total := 0, 0
+		for i := 0; i < 4000; i++ {
+			pc := int64(0x100 + (i%64)*4)
+			pred := p.Direction(0, pc)
+			p.Update(0, pc, isa.ClassBranch, true, 0, 0)
+			if pred {
+				correct++
+			}
+			total++
+			if interfere {
+				// Thread 1: opposite direction at PCs aliasing to the same
+				// PHT counters (index uses pc>>2 mod 2048).
+				pc1 := pc + 2048*4
+				p.Update(1, pc1, isa.ClassBranch, false, 0, 0)
+				p.Update(1, pc1, isa.ClassBranch, false, 0, 0)
+			}
+		}
+		return float64(correct) / float64(total)
+	}
+	soloAcc := acc(MustNew(cfg), false)
+	sharedAcc := acc(MustNew(cfg), true)
+	if soloAcc < 0.9 {
+		t.Fatalf("solo accuracy %.3f unexpectedly low", soloAcc)
+	}
+	if sharedAcc >= soloAcc-0.05 {
+		t.Fatalf("no interference: solo %.3f, shared %.3f", soloAcc, sharedAcc)
+	}
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/rename"
+)
+
+// commitStage retires completed instructions in per-thread program order,
+// up to CommitWidth per cycle across all threads (round-robin fairness).
+// Commit frees the physical register displaced by each instruction's
+// destination and trains the branch predictor — only correct-path
+// instructions ever reach here.
+func (p *Processor) commitStage() {
+	budget := p.cfg.CommitWidth
+	n := p.cfg.Threads
+	for i := 0; i < n && budget > 0; i++ {
+		th := p.threads[(p.commitRR+i)%n]
+		for budget > 0 && len(th.rob) > 0 {
+			d := th.rob[0]
+			if !p.committable(d) {
+				break
+			}
+			p.commitOne(th, d)
+			th.rob = th.rob[:copy(th.rob, th.rob[1:])]
+			budget--
+		}
+	}
+	p.commitRR++
+}
+
+// committable reports whether the thread's oldest instruction has fully
+// completed (including its RegWrite stage). The state check matters: an
+// instruction pulled back to the queue by an optimistic-issue squash is not
+// committable even though it once had a completion time.
+func (p *Processor) committable(d *dyn) bool {
+	return d.state == stIssued && d.doneCycle > 0 && p.cycle >= d.doneCycle &&
+		(!d.isControl() || d.resolved)
+}
+
+// commitOne retires one instruction.
+func (p *Processor) commitOne(th *threadState, d *dyn) {
+	if d.wrongPath {
+		panic(fmt.Sprintf("core: wrong-path instruction reached commit (thread %d seq %d)", th.id, d.seq))
+	}
+	p.stats.Committed++
+	p.stats.CommittedByThread[th.id]++
+	th.committed++
+	if p.CommitHook != nil {
+		p.CommitHook(th.id, d.pc)
+	}
+
+	if d.destPhys != rename.None {
+		f := p.ren.FileFor(d.si.Dest)
+		if p.producerFor(f, d.destPhys) == d {
+			p.setProducer(f, d.destPhys, nil)
+		}
+		f.CommitFree(d.oldPhys)
+	}
+
+	if d.isControl() {
+		p.trainPredictor(th, d)
+	}
+
+	if d.pendingEvts != 0 {
+		panic(fmt.Sprintf("core: committing instruction with %d pending events", d.pendingEvts))
+	}
+	p.pool.put(d)
+}
+
+// trainPredictor updates the PHT/BTB at branch commit and accounts the
+// paper's branch and jump misprediction rates.
+func (p *Processor) trainPredictor(th *threadState, d *dyn) {
+	cls := d.si.Class
+	taken := d.rec.Taken
+	target := d.rec.NextPC
+
+	switch cls {
+	case isa.ClassBranch:
+		p.stats.CondBranches++
+		if d.predTaken != taken {
+			p.stats.CondMispredicts++
+		}
+	case isa.ClassJumpInd, isa.ClassReturn:
+		p.stats.Jumps++
+		if d.mispred == mispredExec {
+			p.stats.JumpMispredicts++
+		}
+	}
+	if !p.cfg.PerfectBranchPred {
+		p.pred.Update(th.id, d.pc, cls, taken, target, d.ghrCP)
+	}
+}

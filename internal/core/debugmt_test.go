@@ -1,0 +1,25 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestDebugMT(t *testing.T) {
+	cfg := DefaultConfig(2)
+	p := MustNew(cfg, buildPrograms(t, 2, 7))
+	for i := 0; i < 3000; i++ {
+		p.Step()
+	}
+	s := p.Stats()
+	fmt.Printf("committed=%d fetched=%d issued=%d\n", s.Committed, s.Fetched, s.Issued)
+	for _, th := range p.threads {
+		fmt.Printf("th%d: pc=%#x imiss=%d blocked=%d wrong=%v rob=%d ic=%d committed=%d\n",
+			th.id, th.fetchPC, th.imissUntil, th.fetchBlockedUntil, th.wrongPath, len(th.rob), th.icount, th.committed)
+	}
+	fmt.Printf("dl=%d rl=%d intQ=%d fpQ=%d\n", len(p.decodeLatch), len(p.renameLatch), p.intQ.Len(), p.fpQ.Len())
+	if len(p.threads[0].rob) > 0 {
+		d := p.threads[0].rob[0]
+		fmt.Printf("th0 rob[0]: %s seq=%d state=%d done=%d\n", d.si.Class, d.seq, d.state, d.doneCycle)
+	}
+}

@@ -1,0 +1,318 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/iq"
+	"repro/internal/policy"
+)
+
+// candidate is one potentially-issuable queue entry.
+type candidate struct {
+	d     *dyn
+	queue *iq.Queue[*dyn]
+	pos   int // age position within its queue
+	info  policy.IssueInfo
+}
+
+// issueStage selects and issues ready instructions from both queues under
+// the configured issue policy and functional-unit constraints (Section 6).
+//
+// Readiness is evaluated live during the selection walk so that zero-latency
+// producers (compares) can feed consumers issued in the same cycle, and
+// one-cycle producers feed back-to-back dependents.
+func (p *Processor) issueStage() {
+	p.pruneIssuedPreExec()
+
+	// Oldest in-IQ unresolved control instruction per thread, for the
+	// SPEC_LAST flag and the SpecNoPassBranch mode.
+	specSeq := p.oldestQueuedCtl()
+
+	// Each queue window is age-ordered, so the merged candidate list is
+	// sorted oldest-first without a comparison sort; the non-default issue
+	// policies are then a stable partition on a single flag.
+	intC := p.intCandBuf[:0]
+	fpC := p.fpCandBuf[:0]
+	for i, d := range p.intQ.Window() {
+		if d.state == stQueued && d.earliestIssue <= p.cycle {
+			intC = append(intC, p.newCandidate(d, p.intQ, i, specSeq))
+		}
+	}
+	for i, d := range p.fpQ.Window() {
+		if d.state == stQueued && d.earliestIssue <= p.cycle {
+			fpC = append(fpC, p.newCandidate(d, p.fpQ, i, specSeq))
+		}
+	}
+	p.intCandBuf, p.fpCandBuf = intC, fpC
+
+	cands := p.candBuf[:0]
+	ii, fi := 0, 0
+	for ii < len(intC) || fi < len(fpC) {
+		switch {
+		case fi >= len(fpC) || (ii < len(intC) && intC[ii].info.Age <= fpC[fi].info.Age):
+			cands = append(cands, intC[ii])
+			ii++
+		default:
+			cands = append(cands, fpC[fi])
+			fi++
+		}
+	}
+	p.candBuf = cands
+
+	alg := p.cfg.IssuePolicy
+	if alg == policy.OptLast {
+		// OPT_LAST orders on the optimism estimate at selection time.
+		for i := range cands {
+			c := &cands[i]
+			c.info.Optimistic = p.srcAtRisk(p.srcFile(c.d.si.Src1), c.d.src1Phys) ||
+				p.srcAtRisk(p.srcFile(c.d.si.Src2), c.d.src2Phys)
+		}
+	}
+	if alg != policy.OldestFirst {
+		p.partBuf = partitionByPolicy(cands, alg, p.partBuf[:0])
+	}
+
+	var intUsed, ldstUsed, fpUsed, total int
+	intRemove := p.idxBuf[:0]
+	var fpRemove []int
+
+	for i := range cands {
+		c := &cands[i]
+		d := c.d
+		if !p.cfg.InfiniteFUs {
+			if total >= p.cfg.IssueWidth {
+				break
+			}
+			switch {
+			case d.si.Class.IsFP():
+				if fpUsed >= p.cfg.FPUnits {
+					continue
+				}
+			case d.si.Class.IsMem():
+				if ldstUsed >= p.cfg.LdStUnits || intUsed >= p.cfg.IntUnits {
+					continue
+				}
+			default:
+				if intUsed >= p.cfg.IntUnits {
+					continue
+				}
+			}
+		}
+		ready, optimistic := p.ready(d)
+		if !ready {
+			continue
+		}
+		p.issueOne(d, optimistic)
+		if optimistic {
+			// Held in the IQ until its load producers verify (Section 2's
+			// "held in the IQ an extra cycle after they are issued").
+			_ = d
+		} else {
+			d.inIQ = false
+			p.threads[d.thread].icount--
+			if d.isControl() {
+				p.threads[d.thread].brcount--
+			}
+			if c.queue == p.intQ {
+				intRemove = append(intRemove, c.pos)
+			} else {
+				fpRemove = append(fpRemove, c.pos)
+			}
+		}
+		total++
+		switch {
+		case d.si.Class.IsFP():
+			fpUsed++
+		case d.si.Class.IsMem():
+			ldstUsed++
+			intUsed++
+		default:
+			intUsed++
+		}
+	}
+
+	sort.Ints(intRemove)
+	sort.Ints(fpRemove)
+	p.intQ.RemoveIndices(intRemove)
+	p.fpQ.RemoveIndices(fpRemove)
+	p.idxBuf = intRemove[:0]
+}
+
+// oldestQueuedCtl returns, per thread, the sequence number of the oldest
+// unresolved control instruction still occupying an IQ slot (MaxInt64 when
+// none).
+func (p *Processor) oldestQueuedCtl() []int64 {
+	if cap(p.specSeqBuf) < p.cfg.Threads {
+		p.specSeqBuf = make([]int64, p.cfg.Threads)
+	}
+	s := p.specSeqBuf[:p.cfg.Threads]
+	for i := range s {
+		s[i] = 1<<63 - 1
+	}
+	for _, q := range []*iq.Queue[*dyn]{p.intQ, p.fpQ} {
+		all := q.All()
+		for _, d := range all {
+			if d.isControl() && !d.resolved && d.seq < s[d.thread] {
+				s[d.thread] = d.seq
+			}
+		}
+	}
+	p.specSeqBuf = s
+	return s
+}
+
+// ready decides whether d can issue this cycle, and whether doing so is
+// optimistic (some source comes from a load whose hit/miss is unknown).
+func (p *Processor) ready(d *dyn) (ok, optimistic bool) {
+	th := p.threads[d.thread]
+
+	for i := 0; i < 2; i++ {
+		reg, phys := d.si.Src1, d.src1Phys
+		if i == 1 {
+			reg, phys = d.si.Src2, d.src2Phys
+		}
+		f := p.srcFile(reg)
+		if f == nil {
+			continue
+		}
+		if f.ReadyAt(phys) > p.cycle {
+			return false, false
+		}
+		if p.srcAtRisk(f, phys) {
+			optimistic = true
+		}
+	}
+
+	// Memory disambiguation: a load may not issue past an older unexecuted
+	// store of its thread whose partial (10-bit) address matches.
+	if d.isLoad() {
+		pa := d.partialAddr(p.cfg.DisambigBits)
+		for _, st := range th.stores {
+			if st.seq < d.seq && st.partialAddr(p.cfg.DisambigBits) == pa {
+				return false, false
+			}
+		}
+	}
+
+	// Speculation restrictions (Section 7).
+	switch p.cfg.SpecMode {
+	case SpecNoPassBranch:
+		for _, c := range th.ctlFlight {
+			if c.seq < d.seq && c.state < stIssued {
+				return false, false
+			}
+		}
+	case SpecNoWrongPath:
+		for _, c := range th.ctlFlight {
+			if c.seq < d.seq && (c.state < stIssued || p.cycle < c.issueCycle+4) {
+				return false, false
+			}
+		}
+	}
+	return true, optimistic
+}
+
+// issueOne performs the issue bookkeeping for d.
+func (p *Processor) issueOne(d *dyn, optimistic bool) {
+	d.state = stIssued
+	d.issueCycle = p.cycle
+	d.optimistic = optimistic
+	d.execStart = p.cycle + p.cfg.execOffset()
+	p.stats.Issued++
+	if d.wrongPath {
+		p.stats.IssuedWrongPath++
+	}
+
+	lat := int64(d.si.Class.Latency())
+	switch {
+	case d.si.Class.IsMem():
+		// Hit/miss unknown until the D-cache access at execStart; schedule
+		// the result optimistically (load-hit latency 1).
+		if d.isLoad() && d.destPhys >= 0 {
+			p.ren.FileFor(d.si.Dest).SetReady(d.destPhys, p.cycle+1)
+		}
+		p.events.schedule(d.execStart, event{kind: evMemExec, d: d, thread: d.thread})
+	default:
+		if d.destPhys >= 0 {
+			p.ren.FileFor(d.si.Dest).SetReady(d.destPhys, p.cycle+lat)
+		}
+		execEnd := d.execStart + maxI64(lat, 1) - 1
+		d.doneCycle = execEnd + p.cfg.commitDelay()
+		if d.isControl() {
+			p.events.schedule(execEnd, event{kind: evResolve, d: d, thread: d.thread})
+		}
+	}
+	if d.execStart > p.cycle {
+		p.issuedPreExec = append(p.issuedPreExec, d)
+	}
+}
+
+// pruneIssuedPreExec drops entries whose execution has begun or that have
+// been squashed.
+func (p *Processor) pruneIssuedPreExec() {
+	keep := p.issuedPreExec[:0]
+	for _, d := range p.issuedPreExec {
+		if d.state == stIssued && d.execStart > p.cycle {
+			keep = append(keep, d)
+		}
+	}
+	for i := len(keep); i < len(p.issuedPreExec); i++ {
+		p.issuedPreExec[i] = nil
+	}
+	p.issuedPreExec = keep
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// newCandidate builds the issue descriptor for one queued instruction.
+func (p *Processor) newCandidate(d *dyn, q *iq.Queue[*dyn], pos int, specSeq []int64) candidate {
+	return candidate{
+		d:     d,
+		queue: q,
+		pos:   pos,
+		info: policy.IssueInfo{
+			Age:         d.globalAge(),
+			Branch:      d.isControl(),
+			Speculative: specSeq[d.thread] < d.seq,
+			// The optimistic flag is evaluated live during selection.
+		},
+	}
+}
+
+// partitionByPolicy stably reorders an age-sorted candidate list in place
+// for the non-default issue policies, each of which is a single boolean
+// partition with oldest-first tie-breaking (Section 6). It returns the
+// scratch buffer (grown as needed) for the caller to reuse; the scratch
+// must not alias cands.
+func partitionByPolicy(cands []candidate, alg policy.IssueAlg, buf []candidate) []candidate {
+	first := func(c *candidate) bool {
+		switch alg {
+		case policy.OptLast:
+			return !c.info.Optimistic
+		case policy.SpecLast:
+			return !c.info.Speculative
+		case policy.BranchFirst:
+			return c.info.Branch
+		default:
+			return true
+		}
+	}
+	out := buf
+	for i := range cands {
+		if first(&cands[i]) {
+			out = append(out, cands[i])
+		}
+	}
+	for i := range cands {
+		if !first(&cands[i]) {
+			out = append(out, cands[i])
+		}
+	}
+	copy(cands, out)
+	return out
+}

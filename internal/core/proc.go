@@ -1,0 +1,314 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/branch"
+	"repro/internal/iq"
+	"repro/internal/mem"
+	"repro/internal/policy"
+	"repro/internal/rename"
+	"repro/internal/workload"
+)
+
+// threadState is one hardware context.
+type threadState struct {
+	id     int
+	walker *workload.Walker
+	prog   *workload.Program
+
+	fetchPC           int64
+	wrongPath         bool  // fetch is currently down a wrong path
+	fetchBlockedUntil int64 // misfetch bubbles / redirect bubbles
+	imissUntil        int64 // in-flight I-cache miss completion
+
+	nextSeq   int64
+	rob       []*dyn // renamed, in-flight instructions in fetch order
+	stores    []*dyn // renamed stores awaiting execution (disambiguation)
+	ctlFlight []*dyn // renamed, unresolved control instructions
+
+	// Fetch-policy feedback counters (Section 5.2).
+	icount    int // instructions in decode, rename, and the IQs
+	brcount   int // unresolved control instructions in those stages
+	misscount int // outstanding D-cache misses
+
+	committed int64
+	wrongSalt uint64 // wrong-path address diversifier
+}
+
+// Processor is one simulated machine.
+type Processor struct {
+	cfg   Config
+	cycle int64
+
+	pred *branch.Predictor
+	mem  *mem.Hierarchy
+	ren  *rename.Renamer
+
+	intQ *iq.Queue[*dyn]
+	fpQ  *iq.Queue[*dyn]
+
+	threads []*threadState
+
+	decodeLatch []*dyn // fetched this or an earlier cycle, awaiting decode
+	renameLatch []*dyn // decoded, awaiting rename/queue insert
+
+	// producer maps physical registers to their in-flight producer, for
+	// optimistic-issue tracking. Indexed per file.
+	intProducer []*dyn
+	fpProducer  []*dyn
+
+	// issuedPreExec holds issued instructions whose execution has not begun,
+	// the squash window for optimistic issue.
+	issuedPreExec []*dyn
+
+	events ring
+	pool   pool
+	stats  Stats
+
+	rrBase   int // round-robin fetch priority rotation
+	commitRR int // round-robin commit fairness
+
+	// Scratch buffers reused across cycles.
+	fbBuf      []policy.ThreadFeedback
+	orderBuf   []int
+	candBuf    []candidate
+	intCandBuf []candidate
+	fpCandBuf  []candidate
+	partBuf    []candidate
+	idxBuf     []int
+	specSeqBuf []int64
+
+	// CommitHook, when non-nil, observes every committed instruction in
+	// per-thread program order (used by tests and tracing tools).
+	CommitHook func(thread int, pc int64)
+}
+
+// New builds a processor for cfg running the given programs, one per
+// hardware context. len(programs) must equal cfg.Threads.
+func New(cfg Config, programs []*workload.Program) (*Processor, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(programs) != cfg.Threads {
+		return nil, fmt.Errorf("core: %d programs for %d threads", len(programs), cfg.Threads)
+	}
+	pred, err := branch.New(cfg.Branch)
+	if err != nil {
+		return nil, err
+	}
+	hier, err := mem.New(cfg.Mem)
+	if err != nil {
+		return nil, err
+	}
+	ren, err := rename.New(cfg.Rename)
+	if err != nil {
+		return nil, err
+	}
+	capScale := 1
+	if cfg.BigQ {
+		capScale = 2
+	}
+	p := &Processor{
+		cfg:         cfg,
+		pred:        pred,
+		mem:         hier,
+		ren:         ren,
+		intQ:        iq.New[*dyn](cfg.IQSize*capScale, cfg.IQSize),
+		fpQ:         iq.New[*dyn](cfg.IQSize*capScale, cfg.IQSize),
+		intProducer: make([]*dyn, cfg.Rename.PhysPerFile()),
+		fpProducer:  make([]*dyn, cfg.Rename.PhysPerFile()),
+		fbBuf:       make([]policy.ThreadFeedback, cfg.Threads),
+		orderBuf:    make([]int, 0, cfg.Threads),
+	}
+	p.events.init()
+	p.stats.CommittedByThread = make([]int64, cfg.Threads)
+	for t := 0; t < cfg.Threads; t++ {
+		prog := programs[t]
+		p.threads = append(p.threads, &threadState{
+			id:      t,
+			walker:  workload.NewWalker(prog),
+			prog:    prog,
+			fetchPC: prog.Entry,
+		})
+	}
+	return p, nil
+}
+
+// MustNew is New for known-good configurations; it panics on error.
+func MustNew(cfg Config, programs []*workload.Program) *Processor {
+	p, err := New(cfg, programs)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Config returns the processor's configuration.
+func (p *Processor) Config() Config { return p.cfg }
+
+// Stats returns a snapshot of the statistics counters.
+func (p *Processor) Stats() Stats {
+	s := p.stats
+	s.CommittedByThread = append([]int64(nil), p.stats.CommittedByThread...)
+	return s
+}
+
+// Mem exposes the memory hierarchy's statistics.
+func (p *Processor) Mem() *mem.Hierarchy { return p.mem }
+
+// Cycle returns the current cycle number.
+func (p *Processor) Cycle() int64 { return p.cycle }
+
+// ResetStats zeroes the statistics counters (memory-hierarchy counters
+// included) without disturbing machine state; use it to exclude warmup.
+func (p *Processor) ResetStats() {
+	perThread := p.stats.CommittedByThread
+	for i := range perThread {
+		perThread[i] = 0
+	}
+	p.stats = Stats{CommittedByThread: perThread}
+	p.mem.ResetStats()
+}
+
+// Step advances the machine one cycle.
+func (p *Processor) Step() {
+	p.cycle++
+	p.processEvents()
+	p.commitStage()
+	p.issueStage()
+	p.renameStage()
+	p.decodeStage()
+	p.fetchStage()
+	p.stats.Cycles++
+	p.stats.QueuePopSamples += int64(p.intQ.Len() + p.fpQ.Len())
+}
+
+// Run advances until instructions commits have occurred (across all
+// threads) or maxCycles elapse (0 means no cycle bound). It returns the
+// statistics snapshot at stop.
+func (p *Processor) Run(instructions int64, maxCycles int64) Stats {
+	start := p.stats.Committed
+	for p.stats.Committed-start < instructions {
+		if maxCycles > 0 && p.stats.Cycles >= maxCycles {
+			break
+		}
+		p.Step()
+	}
+	return p.Stats()
+}
+
+// producerFor returns the in-flight producer of a physical register in the
+// given file, or nil.
+func (p *Processor) producerFor(f *rename.File, reg rename.PhysReg) *dyn {
+	if reg == rename.None {
+		return nil
+	}
+	if f == p.ren.Int {
+		return p.intProducer[reg]
+	}
+	return p.fpProducer[reg]
+}
+
+func (p *Processor) setProducer(f *rename.File, reg rename.PhysReg, d *dyn) {
+	if reg == rename.None {
+		return
+	}
+	if f == p.ren.Int {
+		p.intProducer[reg] = d
+	} else {
+		p.fpProducer[reg] = d
+	}
+}
+
+// buildFeedback refreshes the per-thread fetch-policy counters.
+func (p *Processor) buildFeedback() []policy.ThreadFeedback {
+	const noQueuePosn = 1 << 20
+	for t := range p.fbBuf {
+		th := p.threads[t]
+		p.fbBuf[t] = policy.ThreadFeedback{
+			ICount:    th.icount,
+			BrCount:   th.brcount,
+			MissCount: th.misscount,
+			IQPosn:    noQueuePosn,
+		}
+	}
+	if p.cfg.FetchPolicy == policy.IQPosn {
+		p.scanQueuePositions()
+	}
+	return p.fbBuf
+}
+
+// scanQueuePositions fills IQPosn: for each thread, the distance from the
+// head of the nearest queue holding one of its instructions.
+func (p *Processor) scanQueuePositions() {
+	for _, q := range []*iq.Queue[*dyn]{p.intQ, p.fpQ} {
+		for i := 0; i < q.Len(); i++ {
+			d := q.At(i)
+			fb := &p.fbBuf[d.thread]
+			if i < fb.IQPosn {
+				fb.IQPosn = i
+			}
+		}
+	}
+}
+
+// event kinds processed at the start of their cycle.
+type evKind uint8
+
+const (
+	evMemExec  evKind = iota // load/store reaches execution: access the D-cache
+	evResolve                // control instruction resolves at the end of exec
+	evSquash                 // perform a thread squash triggered by a mispredict
+	evMissDone               // an outstanding D-cache miss completes (MISSCOUNT)
+)
+
+type event struct {
+	kind   evKind
+	d      *dyn
+	thread int32
+	gen    int32 // d.gen at scheduling; a mismatch marks the event stale
+}
+
+// ring is a calendar queue for events. Most events land within a few
+// hundred cycles; rare stragglers (stacked memory queueing) go to the
+// overflow map.
+type ring struct {
+	buckets  [][]event
+	overflow map[int64][]event
+	base     int64
+}
+
+const ringSize = 4096
+
+func (r *ring) init() {
+	r.buckets = make([][]event, ringSize)
+	r.overflow = make(map[int64][]event)
+}
+
+func (r *ring) schedule(cycle int64, ev event) {
+	if ev.d != nil {
+		ev.d.pendingEvts++
+		ev.gen = ev.d.gen
+	}
+	if cycle-r.base >= ringSize {
+		r.overflow[cycle] = append(r.overflow[cycle], ev)
+		return
+	}
+	idx := cycle & (ringSize - 1)
+	r.buckets[idx] = append(r.buckets[idx], ev)
+}
+
+// drain returns the events scheduled for cycle. The returned slice is owned
+// by the ring and valid until the next drain of the same bucket.
+func (r *ring) drain(cycle int64) []event {
+	r.base = cycle
+	idx := cycle & (ringSize - 1)
+	evs := r.buckets[idx]
+	r.buckets[idx] = r.buckets[idx][:0]
+	if ovf, ok := r.overflow[cycle]; ok {
+		evs = append(evs, ovf...)
+		delete(r.overflow, cycle)
+	}
+	return evs
+}

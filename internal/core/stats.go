@@ -1,0 +1,158 @@
+package core
+
+// Stats aggregates everything the paper's tables and figures report. All
+// counters are cumulative from construction (or the last ResetStats).
+type Stats struct {
+	Cycles int64
+
+	// Committed (useful) instructions; throughput counts only these.
+	Committed         int64
+	CommittedByThread []int64
+
+	// Fetch.
+	Fetched          int64 // all instructions brought in, wrong path included
+	FetchedWrongPath int64
+	FetchCycles      int64 // cycles in which at least one instruction was fetched
+	ICacheMissStalls int64 // fetch opportunities lost to I-cache misses
+
+	// Fetch-loss accounting: cycles in which no instruction was fetched,
+	// by cause (the paper's "fetch availability" discussion).
+	FetchLostBackPressure int64 // decode latch occupied (IQ / rename stall upstream)
+	FetchLostNoThread     int64 // every thread blocked, I-missing, or bank-conflicted
+	FetchLostIMiss        int64 // selected threads all missed in the I-cache
+
+	// Issue.
+	Issued           int64
+	IssuedWrongPath  int64
+	OptimisticSquash int64 // issued slots wasted by load-miss/bank-conflict squash
+	LoadRetries      int64 // load executions retried on bank conflicts
+
+	// Queues.
+	IntIQFullCycles int64 // cycles the integer queue rejected an insert
+	FPIQFullCycles  int64
+	QueuePopSamples int64 // sum over cycles of combined queue population
+	OutOfRegCycles  int64 // cycles rename stalled for lack of physical registers
+
+	// Branching (committed, correct-path instructions only).
+	CondBranches    int64
+	CondMispredicts int64
+	Jumps           int64 // indirect jumps and returns
+	JumpMispredicts int64
+	Misfetches      int64 // decode-corrected target misses (2-cycle bubble)
+
+	// Per-thread squash accounting.
+	SquashedInstructions int64
+	Mispredicts          int64 // exec-redirect squashes (wrong paths entered)
+}
+
+// IPC returns committed instructions per cycle.
+func (s *Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Committed) / float64(s.Cycles)
+}
+
+// WrongPathFetchedFrac returns the fraction of fetched instructions that
+// were down a wrong path (Table 3's "wrong-path instructions fetched").
+func (s *Stats) WrongPathFetchedFrac() float64 {
+	if s.Fetched == 0 {
+		return 0
+	}
+	return float64(s.FetchedWrongPath) / float64(s.Fetched)
+}
+
+// WrongPathIssuedFrac returns the fraction of issued instructions that were
+// down a wrong path (Table 3's "wrong-path instructions issued").
+func (s *Stats) WrongPathIssuedFrac() float64 {
+	if s.Issued == 0 {
+		return 0
+	}
+	return float64(s.IssuedWrongPath) / float64(s.Issued)
+}
+
+// OptimisticSquashFrac returns the fraction of issue slots wasted on
+// squashed optimistically-issued instructions (Table 5's "optimistic").
+func (s *Stats) OptimisticSquashFrac() float64 {
+	if s.Issued == 0 {
+		return 0
+	}
+	return float64(s.OptimisticSquash) / float64(s.Issued)
+}
+
+// UselessIssueFrac returns the total useless fraction of issue bandwidth:
+// wrong-path plus squashed optimistic issues (Section 6).
+func (s *Stats) UselessIssueFrac() float64 {
+	if s.Issued == 0 {
+		return 0
+	}
+	return float64(s.IssuedWrongPath+s.OptimisticSquash) / float64(s.Issued)
+}
+
+// CondMispredictRate returns the conditional-branch misprediction rate.
+func (s *Stats) CondMispredictRate() float64 {
+	if s.CondBranches == 0 {
+		return 0
+	}
+	return float64(s.CondMispredicts) / float64(s.CondBranches)
+}
+
+// JumpMispredictRate returns the indirect-jump/return misprediction rate.
+func (s *Stats) JumpMispredictRate() float64 {
+	if s.Jumps == 0 {
+		return 0
+	}
+	return float64(s.JumpMispredicts) / float64(s.Jumps)
+}
+
+// AvgQueuePopulation returns the mean combined population of the two
+// instruction queues (Table 3/4's "avg queue population").
+func (s *Stats) AvgQueuePopulation() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.QueuePopSamples) / float64(s.Cycles)
+}
+
+// IntIQFullFrac returns the fraction of cycles the integer queue was full
+// when rename tried to insert.
+func (s *Stats) IntIQFullFrac() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.IntIQFullCycles) / float64(s.Cycles)
+}
+
+// FPIQFullFrac returns the fraction of cycles the fp queue was full when
+// rename tried to insert.
+func (s *Stats) FPIQFullFrac() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.FPIQFullCycles) / float64(s.Cycles)
+}
+
+// OutOfRegFrac returns the fraction of cycles rename stalled on registers.
+func (s *Stats) OutOfRegFrac() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.OutOfRegCycles) / float64(s.Cycles)
+}
+
+// UsefulFetchPerCycle returns committed-path instructions fetched per cycle.
+func (s *Stats) UsefulFetchPerCycle() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Fetched-s.FetchedWrongPath) / float64(s.Cycles)
+}
+
+// PerK returns n per thousand committed instructions (the paper's
+// "misses per thousand instructions").
+func (s *Stats) PerK(n int64) float64 {
+	if s.Committed == 0 {
+		return 0
+	}
+	return float64(n) * 1000 / float64(s.Committed)
+}

@@ -1,0 +1,90 @@
+package exp
+
+import "repro/smt"
+
+// Sec7Result is one bottleneck experiment: the modified machine's IPC next
+// to the ICOUNT.2.8 baseline at the same thread count.
+type Sec7Result struct {
+	Name     string
+	Threads  int
+	Baseline float64
+	Modified float64
+}
+
+// Delta returns the relative change from the baseline.
+func (r Sec7Result) Delta() float64 {
+	if r.Baseline == 0 {
+		return 0
+	}
+	return r.Modified/r.Baseline - 1
+}
+
+// sec7Case is one experiment of Section 7.
+type sec7Case struct {
+	name    string
+	threads []int
+	mod     func(*smt.Config)
+}
+
+func sec7Cases() []sec7Case {
+	return []sec7Case{
+		{"infinite FUs", []int{8}, func(c *smt.Config) { c.InfiniteFUs = true }},
+		{"64-entry searchable IQ", []int{8}, func(c *smt.Config) { c.IQSize = 64 }},
+		{"16-wide fetch (2.16)", []int{8}, func(c *smt.Config) {
+			c.FetchTotal = 16
+			c.FetchPerThread = 8
+		}},
+		{"16-wide fetch + 64 IQ + 140 regs", []int{8}, func(c *smt.Config) {
+			c.FetchTotal = 16
+			c.FetchPerThread = 8
+			c.IQSize = 64
+			c.Rename.ExcessRegs = 140
+		}},
+		{"perfect branch prediction", []int{1, 4, 8}, func(c *smt.Config) { c.PerfectBranchPred = true }},
+		{"double BTB and PHT", []int{8}, func(c *smt.Config) {
+			c.Branch.BTBEntries *= 2
+			c.Branch.PHTEntries *= 2
+		}},
+		{"no wrong-path issue (4-cycle delay)", []int{1, 8}, func(c *smt.Config) { c.SpecMode = smt.SpecNoWrongPath }},
+		{"no passing unresolved branches", []int{1, 8}, func(c *smt.Config) { c.SpecMode = smt.SpecNoPassBranch }},
+		{"infinite memory bandwidth", []int{8}, func(c *smt.Config) { c.Mem.InfiniteBW = true }},
+		{"excess registers 90", []int{8}, func(c *smt.Config) { c.Rename.ExcessRegs = 90 }},
+		{"excess registers 80", []int{8}, func(c *smt.Config) { c.Rename.ExcessRegs = 80 }},
+		{"excess registers 70", []int{8}, func(c *smt.Config) { c.Rename.ExcessRegs = 70 }},
+		{"excess registers unlimited", []int{8}, func(c *smt.Config) { c.Rename.ExcessRegs = 100000 }},
+	}
+}
+
+// Sec7Names lists the bottleneck experiments in order.
+func Sec7Names() []string {
+	cases := sec7Cases()
+	names := make([]string, len(cases))
+	for i, c := range cases {
+		names[i] = c.name
+	}
+	return names
+}
+
+// Sec7 runs the Section 7 bottleneck studies against the ICOUNT.2.8
+// baseline. baselines are measured once per thread count.
+func Sec7(o Opts) []Sec7Result {
+	baseline := map[int]float64{}
+	for _, t := range []int{1, 4, 8} {
+		baseline[t] = Measure(ICount28(t), o).IPC
+	}
+	var out []Sec7Result
+	for _, c := range sec7Cases() {
+		for _, t := range c.threads {
+			cfg := ICount28(t)
+			c.mod(&cfg)
+			p := Measure(cfg, o)
+			out = append(out, Sec7Result{
+				Name:     c.name,
+				Threads:  t,
+				Baseline: baseline[t],
+				Modified: p.IPC,
+			})
+		}
+	}
+	return out
+}

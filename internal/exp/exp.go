@@ -1,0 +1,124 @@
+// Package exp defines the paper's experiments: one preset per table and
+// figure of the evaluation, each returning structured results that
+// cmd/experiments formats and bench_test.go wraps as benchmarks.
+//
+// Methodology (paper Section 3): every data point averages several runs
+// with rotated benchmark-to-thread assignments, each run warming the
+// machine before measurement. Absolute instruction budgets are scaled down
+// from the paper's T*300M to laptop sizes; all configurations within an
+// experiment use identical budgets and seeds, so comparisons are fair.
+package exp
+
+import (
+	"fmt"
+
+	"repro/smt"
+)
+
+// Opts scales an experiment.
+type Opts struct {
+	Runs    int   // benchmark rotations averaged per data point
+	Warmup  int64 // committed instructions before measurement, per run
+	Measure int64 // measured committed instructions per thread
+	Seed    uint64
+}
+
+// DefaultOpts returns budgets sized for interactive use (a few seconds per
+// experiment); raise Measure for tighter confidence.
+func DefaultOpts() Opts {
+	return Opts{Runs: 4, Warmup: 30_000, Measure: 60_000, Seed: 1}
+}
+
+// quick returns laptop-quick budgets for tests.
+func (o Opts) normalized() Opts {
+	if o.Runs <= 0 {
+		o.Runs = 1
+	}
+	if o.Measure <= 0 {
+		o.Measure = 10_000
+	}
+	return o
+}
+
+// Point is one measured machine configuration.
+type Point struct {
+	Label   string
+	Threads int
+	IPC     float64
+	Results smt.Results // averaged counters from the final rotation runs
+}
+
+// Measure runs cfg under the standard methodology and returns the averaged
+// IPC and the aggregate results of the last run (for low-level metrics).
+func Measure(cfg smt.Config, o Opts) Point {
+	o = o.normalized()
+	var ipcSum float64
+	var last smt.Results
+	for run := 0; run < o.Runs; run++ {
+		spec := smt.WorkloadMix(cfg.Threads, run, o.Seed+uint64(run))
+		sim := smt.MustNew(cfg, spec)
+		if o.Warmup > 0 {
+			sim.Warmup(o.Warmup * int64(cfg.Threads))
+		}
+		res := sim.Run(o.Measure * int64(cfg.Threads))
+		ipcSum += res.IPC
+		last = res
+	}
+	return Point{
+		Label:   cfg.FetchName(),
+		Threads: cfg.Threads,
+		IPC:     ipcSum / float64(o.Runs),
+		Results: last,
+	}
+}
+
+// Series measures one configuration shape across thread counts.
+func Series(label string, threads []int, mk func(threads int) smt.Config, o Opts) []Point {
+	pts := make([]Point, 0, len(threads))
+	for _, t := range threads {
+		cfg := mk(t)
+		p := Measure(cfg, o)
+		p.Label = label
+		pts = append(pts, p)
+	}
+	return pts
+}
+
+// FetchSchemeConfig builds the paper's alg.num1.num2 fetch configurations.
+func FetchSchemeConfig(threads int, alg string, num1, num2 int) (smt.Config, error) {
+	cfg := smt.DefaultConfig(threads)
+	switch alg {
+	case "RR":
+		cfg.FetchPolicy = smt.FetchRR
+	case "BRCOUNT":
+		cfg.FetchPolicy = smt.FetchBRCount
+	case "MISSCOUNT":
+		cfg.FetchPolicy = smt.FetchMissCount
+	case "ICOUNT":
+		cfg.FetchPolicy = smt.FetchICount
+	case "IQPOSN":
+		cfg.FetchPolicy = smt.FetchIQPosn
+	default:
+		return cfg, fmt.Errorf("exp: unknown fetch algorithm %q", alg)
+	}
+	if num1 > threads {
+		num1 = threads
+	}
+	cfg.FetchThreads = num1
+	cfg.FetchPerThread = num2
+	return cfg, nil
+}
+
+// MustFetchScheme is FetchSchemeConfig for static arguments.
+func MustFetchScheme(threads int, alg string, num1, num2 int) smt.Config {
+	cfg, err := FetchSchemeConfig(threads, alg, num1, num2)
+	if err != nil {
+		panic(err)
+	}
+	return cfg
+}
+
+// ICount28 returns the improved baseline of Section 7: ICOUNT.2.8.
+func ICount28(threads int) smt.Config {
+	return MustFetchScheme(threads, "ICOUNT", 2, 8)
+}

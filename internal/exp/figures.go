@@ -1,0 +1,159 @@
+package exp
+
+import "repro/smt"
+
+// ThreadCounts is the paper's standard sweep for figures.
+var ThreadCounts = []int{1, 2, 4, 6, 8}
+
+// Fig3 reproduces Figure 3: instruction throughput of the base RR.1.8
+// hardware versus thread count, plus the unmodified superscalar point.
+func Fig3(o Opts) (base []Point, superscalar Point) {
+	base = Series("RR.1.8", []int{1, 2, 3, 4, 5, 6, 7, 8}, func(t int) smt.Config {
+		return MustFetchScheme(t, "RR", 1, 8)
+	}, o)
+	superscalar = Measure(smt.Superscalar(), o)
+	superscalar.Label = "superscalar"
+	return base, superscalar
+}
+
+// Table3Row is one column of Table 3 (metrics at a thread count) for the
+// base RR.1.8 architecture.
+type Table3Row struct {
+	Threads int
+	Res     smt.Results
+}
+
+// Table3 reproduces Table 3: low-level metrics at 1, 4, and 8 threads.
+func Table3(o Opts) []Table3Row {
+	rows := make([]Table3Row, 0, 3)
+	for _, t := range []int{1, 4, 8} {
+		p := Measure(MustFetchScheme(t, "RR", 1, 8), o)
+		rows = append(rows, Table3Row{Threads: t, Res: p.Results})
+	}
+	return rows
+}
+
+// Fig4 reproduces Figure 4: fetch partitioning schemes RR.1.8, RR.2.4,
+// RR.4.2, RR.2.8 across thread counts.
+func Fig4(o Opts) map[string][]Point {
+	schemes := []struct {
+		name       string
+		num1, num2 int
+	}{
+		{"RR.1.8", 1, 8}, {"RR.2.4", 2, 4}, {"RR.4.2", 4, 2}, {"RR.2.8", 2, 8},
+	}
+	out := make(map[string][]Point, len(schemes))
+	for _, s := range schemes {
+		s := s
+		out[s.name] = Series(s.name, ThreadCounts, func(t int) smt.Config {
+			return MustFetchScheme(t, "RR", s.num1, s.num2)
+		}, o)
+	}
+	return out
+}
+
+// Fig5Algs lists the fetch-choice policies of Figure 5.
+var Fig5Algs = []string{"RR", "BRCOUNT", "MISSCOUNT", "ICOUNT", "IQPOSN"}
+
+// Fig5 reproduces Figure 5: fetch-choice heuristics under the 1.8 and 2.8
+// partitioning schemes.
+func Fig5(o Opts) map[string][]Point {
+	out := make(map[string][]Point)
+	for _, alg := range Fig5Algs {
+		for _, scheme := range []struct{ num1, num2 int }{{1, 8}, {2, 8}} {
+			alg, scheme := alg, scheme
+			name := alg + fmtScheme(scheme.num1, scheme.num2)
+			out[name] = Series(name, []int{2, 4, 6, 8}, func(t int) smt.Config {
+				return MustFetchScheme(t, alg, scheme.num1, scheme.num2)
+			}, o)
+		}
+	}
+	return out
+}
+
+func fmtScheme(n1, n2 int) string {
+	return "." + string(rune('0'+n1)) + "." + string(rune('0'+n2))
+}
+
+// Table4 reproduces Table 4: low-level metrics for RR.2.8 and ICOUNT.2.8 at
+// 8 threads, next to the 1-thread baseline.
+func Table4(o Opts) (one, rr, icount smt.Results) {
+	one = Measure(MustFetchScheme(1, "RR", 1, 8), o).Results
+	rr = Measure(MustFetchScheme(8, "RR", 2, 8), o).Results
+	icount = Measure(MustFetchScheme(8, "ICOUNT", 2, 8), o).Results
+	return one, rr, icount
+}
+
+// Fig6 reproduces Figure 6: the BIGQ and ITAG variants on top of
+// ICOUNT.1.8 and ICOUNT.2.8.
+func Fig6(o Opts) map[string][]Point {
+	variants := []struct {
+		name string
+		mod  func(*smt.Config)
+	}{
+		{"", func(*smt.Config) {}},
+		{"BIGQ,", func(c *smt.Config) { c.BigQ = true }},
+		{"ITAG,", func(c *smt.Config) { c.ITAG = true }},
+	}
+	out := make(map[string][]Point)
+	for _, v := range variants {
+		for _, scheme := range []struct{ num1, num2 int }{{1, 8}, {2, 8}} {
+			v, scheme := v, scheme
+			name := v.name + "ICOUNT" + fmtScheme(scheme.num1, scheme.num2)
+			out[name] = Series(name, ThreadCounts, func(t int) smt.Config {
+				cfg := MustFetchScheme(t, "ICOUNT", scheme.num1, scheme.num2)
+				v.mod(&cfg)
+				return cfg
+			}, o)
+		}
+	}
+	return out
+}
+
+// Table5Row is one issue policy's results across thread counts.
+type Table5Row struct {
+	Policy     string
+	IPC        map[int]float64
+	WrongPath  float64 // useless wrong-path issue fraction at 8 threads
+	Optimistic float64 // squashed optimistic issue fraction at 8 threads
+}
+
+// Table5 reproduces Table 5: issue policies under ICOUNT.2.8.
+func Table5(o Opts) []Table5Row {
+	policies := []struct {
+		name string
+		alg  func(*smt.Config)
+	}{
+		{"OLDEST", func(c *smt.Config) { c.IssuePolicy = smt.IssueOldestFirst }},
+		{"OPT_LAST", func(c *smt.Config) { c.IssuePolicy = smt.IssueOptLast }},
+		{"SPEC_LAST", func(c *smt.Config) { c.IssuePolicy = smt.IssueSpecLast }},
+		{"BRANCH_FIRST", func(c *smt.Config) { c.IssuePolicy = smt.IssueBranchFirst }},
+	}
+	rows := make([]Table5Row, 0, len(policies))
+	for _, pol := range policies {
+		row := Table5Row{Policy: pol.name, IPC: map[int]float64{}}
+		for _, t := range ThreadCounts {
+			cfg := ICount28(t)
+			pol.alg(&cfg)
+			p := Measure(cfg, o)
+			row.IPC[t] = p.IPC
+			if t == 8 {
+				row.WrongPath = p.Results.WrongPathIssued
+				row.Optimistic = p.Results.OptimisticSquash
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// Fig7 reproduces Figure 7: throughput with a fixed 200-register budget per
+// file as hardware contexts vary from 1 to 5.
+func Fig7(o Opts) []Point {
+	return Series("200 regs", []int{1, 2, 3, 4, 5}, func(t int) smt.Config {
+		cfg := ICount28(t)
+		cfg.Rename.ExcessRegs = 0
+		cfg.Rename.TotalRegs = 200
+		return cfg
+	}, o)
+}

@@ -1,0 +1,192 @@
+package iq
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPushOrderAndCapacity(t *testing.T) {
+	q := New[int](4, 4)
+	for i := 0; i < 4; i++ {
+		if !q.Push(i) {
+			t.Fatalf("push %d failed", i)
+		}
+	}
+	if q.Push(99) {
+		t.Fatal("push beyond capacity succeeded")
+	}
+	if q.Len() != 4 || !q.Full() || q.Free() != 0 {
+		t.Fatalf("len=%d full=%v free=%d", q.Len(), q.Full(), q.Free())
+	}
+	for i := 0; i < 4; i++ {
+		if q.At(i) != i {
+			t.Fatalf("age order broken at %d: %d", i, q.At(i))
+		}
+	}
+}
+
+func TestWindowLimitsSearch(t *testing.T) {
+	// BIGQ: 8 capacity, 4 searchable.
+	q := New[int](8, 4)
+	for i := 0; i < 6; i++ {
+		q.Push(i)
+	}
+	w := q.Window()
+	if len(w) != 4 {
+		t.Fatalf("window = %d, want 4", len(w))
+	}
+	for i, v := range w {
+		if v != i {
+			t.Fatalf("window[%d] = %d", i, v)
+		}
+	}
+	if len(q.All()) != 6 {
+		t.Fatal("All() should include buffered entries")
+	}
+}
+
+func TestWindowSmallerThanOccupancy(t *testing.T) {
+	q := New[int](8, 4)
+	q.Push(7)
+	if w := q.Window(); len(w) != 1 || w[0] != 7 {
+		t.Fatalf("window = %v", w)
+	}
+}
+
+func TestRemoveIndices(t *testing.T) {
+	q := New[int](8, 8)
+	for i := 0; i < 6; i++ {
+		q.Push(i * 10)
+	}
+	q.RemoveIndices([]int{1, 3, 4})
+	want := []int{0, 20, 50}
+	if q.Len() != len(want) {
+		t.Fatalf("len = %d", q.Len())
+	}
+	for i, w := range want {
+		if q.At(i) != w {
+			t.Fatalf("at %d = %d, want %d", i, q.At(i), w)
+		}
+	}
+}
+
+func TestRemoveIndicesEmptyNoop(t *testing.T) {
+	q := New[int](4, 4)
+	q.Push(1)
+	q.RemoveIndices(nil)
+	if q.Len() != 1 {
+		t.Fatal("noop removal changed queue")
+	}
+}
+
+func TestRemoveIndicesPanicsOnBadInput(t *testing.T) {
+	q := New[int](4, 4)
+	q.Push(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-range index")
+		}
+	}()
+	q.RemoveIndices([]int{5})
+}
+
+func TestRemoveIfFlushesThread(t *testing.T) {
+	type entry struct{ thread, seq int }
+	q := New[entry](16, 16)
+	for i := 0; i < 12; i++ {
+		q.Push(entry{thread: i % 3, seq: i})
+	}
+	removed := q.RemoveIf(func(e entry) bool { return e.thread == 1 })
+	if removed != 4 {
+		t.Fatalf("removed %d, want 4", removed)
+	}
+	last := -1
+	for i := 0; i < q.Len(); i++ {
+		e := q.At(i)
+		if e.thread == 1 {
+			t.Fatal("flushed thread still present")
+		}
+		if e.seq < last {
+			t.Fatal("age order broken by flush")
+		}
+		last = e.seq
+	}
+}
+
+func TestOldestIndexWhere(t *testing.T) {
+	type entry struct{ thread int }
+	q := New[entry](8, 8)
+	q.Push(entry{0})
+	q.Push(entry{2})
+	q.Push(entry{1})
+	q.Push(entry{2})
+	if got := q.OldestIndexWhere(func(e entry) bool { return e.thread == 2 }); got != 1 {
+		t.Fatalf("oldest thread-2 at %d, want 1", got)
+	}
+	if got := q.OldestIndexWhere(func(e entry) bool { return e.thread == 9 }); got != -1 {
+		t.Fatalf("missing thread = %d, want -1", got)
+	}
+}
+
+func TestCountIf(t *testing.T) {
+	q := New[int](8, 8)
+	for i := 0; i < 6; i++ {
+		q.Push(i)
+	}
+	if got := q.CountIf(func(v int) bool { return v%2 == 0 }); got != 3 {
+		t.Fatalf("count = %d", got)
+	}
+}
+
+func TestNewPanicsOnBadShape(t *testing.T) {
+	for _, c := range []struct{ capacity, window int }{{0, 0}, {4, 0}, {4, 5}, {-1, -1}} {
+		func() {
+			defer func() { recover() }()
+			New[int](c.capacity, c.window)
+			t.Fatalf("New(%d,%d) did not panic", c.capacity, c.window)
+		}()
+	}
+}
+
+// Property: any sequence of pushes and predicate-removals preserves relative
+// order of survivors and never exceeds capacity.
+func TestOrderPreservationProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		q := New[int](16, 8)
+		next := 0
+		var model []int
+		for _, op := range ops {
+			if op%3 != 0 {
+				if q.Push(next) {
+					model = append(model, next)
+				}
+				next++
+			} else {
+				mod := int(op/3)%4 + 2
+				q.RemoveIf(func(v int) bool { return v%mod == 0 })
+				keep := model[:0]
+				for _, v := range model {
+					if v%mod != 0 {
+						keep = append(keep, v)
+					}
+				}
+				model = keep
+			}
+			if q.Len() > q.Cap() {
+				return false
+			}
+		}
+		if q.Len() != len(model) {
+			return false
+		}
+		for i, v := range model {
+			if q.At(i) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Fatal(err)
+	}
+}

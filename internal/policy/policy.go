@@ -1,0 +1,160 @@
+// Package policy implements the paper's fetch and issue selection
+// heuristics — the "exploiting choice" of the title.
+//
+// Fetch policies (Section 5.2) order the hardware contexts by desirability
+// each cycle, using feedback counters the core maintains:
+//
+//	RR        round-robin (baseline)
+//	BRCOUNT   fewest unresolved branches first (wrong-path avoidance)
+//	MISSCOUNT fewest outstanding D-cache misses first (IQ-clog avoidance)
+//	ICOUNT    fewest instructions in decode/rename/IQ first (general clog
+//	          avoidance and queue-mix balance; the paper's winner)
+//	IQPOSN    penalize threads whose oldest instructions sit at the queue
+//	          heads (like ICOUNT, without per-thread counters)
+//
+// Issue policies (Section 6) order ready instructions within the queues:
+//
+//	OLDEST_FIRST  deepest-in-queue first (default)
+//	OPT_LAST      optimistically issued instructions after all others
+//	SPEC_LAST     speculative instructions after all others
+//	BRANCH_FIRST  branches as early as possible
+package policy
+
+import (
+	"fmt"
+	"sort"
+)
+
+// FetchAlg enumerates the fetch thread-choice heuristics.
+type FetchAlg uint8
+
+// Fetch policies from Section 5.2 of the paper.
+const (
+	RR FetchAlg = iota
+	BRCount
+	MissCount
+	ICount
+	IQPosn
+)
+
+var fetchNames = [...]string{"RR", "BRCOUNT", "MISSCOUNT", "ICOUNT", "IQPOSN"}
+
+// String returns the paper's name for the policy.
+func (a FetchAlg) String() string {
+	if int(a) < len(fetchNames) {
+		return fetchNames[a]
+	}
+	return fmt.Sprintf("fetch(%d)", uint8(a))
+}
+
+// ParseFetchAlg resolves a policy name (as printed by String).
+func ParseFetchAlg(s string) (FetchAlg, error) {
+	for i, n := range fetchNames {
+		if n == s {
+			return FetchAlg(i), nil
+		}
+	}
+	return 0, fmt.Errorf("policy: unknown fetch policy %q (have %v)", s, fetchNames[:])
+}
+
+// ThreadFeedback carries the per-thread counters that fetch policies
+// consult. The core maintains them; the paper notes this feedback is what
+// distinguishes SMT fetch — the ability to know, each cycle, which threads
+// are using the machine well.
+type ThreadFeedback struct {
+	ICount    int // instructions in decode, rename, and the IQs
+	BrCount   int // unresolved branches in decode, rename, and the IQs
+	MissCount int // outstanding D-cache misses
+	IQPosn    int // min distance-from-head of the thread's oldest IQ entry
+	// across both queues (large = far from head = good);
+	// threads with no queued instructions report a large value
+}
+
+// FetchOrder fills out with all thread ids in priority order (best first)
+// for the given policy. rrBase rotates baseline priority; ties in the
+// counter policies break round-robin, as in the paper. out must have
+// capacity for all threads.
+func FetchOrder(alg FetchAlg, rrBase int, fb []ThreadFeedback, out []int) []int {
+	n := len(fb)
+	out = out[:0]
+	for i := 0; i < n; i++ {
+		out = append(out, (rrBase+i)%n)
+	}
+	key := func(t int) int {
+		switch alg {
+		case BRCount:
+			return fb[t].BrCount
+		case MissCount:
+			return fb[t].MissCount
+		case ICount:
+			return fb[t].ICount
+		case IQPosn:
+			return -fb[t].IQPosn // farthest from the head first
+		default:
+			return 0 // RR: keep rotation order
+		}
+	}
+	if alg != RR {
+		sort.SliceStable(out, func(i, j int) bool { return key(out[i]) < key(out[j]) })
+	}
+	return out
+}
+
+// IssueAlg enumerates the issue-priority heuristics of Section 6.
+type IssueAlg uint8
+
+// Issue policies from Section 6 of the paper.
+const (
+	OldestFirst IssueAlg = iota
+	OptLast
+	SpecLast
+	BranchFirst
+)
+
+var issueNames = [...]string{"OLDEST_FIRST", "OPT_LAST", "SPEC_LAST", "BRANCH_FIRST"}
+
+// String returns the paper's name for the policy.
+func (a IssueAlg) String() string {
+	if int(a) < len(issueNames) {
+		return issueNames[a]
+	}
+	return fmt.Sprintf("issue(%d)", uint8(a))
+}
+
+// ParseIssueAlg resolves a policy name (as printed by String).
+func ParseIssueAlg(s string) (IssueAlg, error) {
+	for i, n := range issueNames {
+		if n == s {
+			return IssueAlg(i), nil
+		}
+	}
+	return 0, fmt.Errorf("policy: unknown issue policy %q (have %v)", s, issueNames[:])
+}
+
+// IssueInfo describes one ready instruction for issue ordering.
+type IssueInfo struct {
+	Age         int64 // global age (smaller = older = deeper in queue)
+	Optimistic  bool  // depends on a load whose hit status is still unknown
+	Speculative bool  // behind an unresolved branch of the same thread
+	Branch      bool  // is a control-flow instruction
+}
+
+// Less reports whether a should issue before b under the policy. Every
+// policy breaks ties oldest-first, so OLDEST_FIRST is the pure form.
+func Less(alg IssueAlg, a, b IssueInfo) bool {
+	switch alg {
+	case OptLast:
+		if a.Optimistic != b.Optimistic {
+			return !a.Optimistic
+		}
+	case SpecLast:
+		if a.Speculative != b.Speculative {
+			return !a.Speculative
+		}
+	case BranchFirst:
+		if a.Branch != b.Branch {
+			return a.Branch
+		}
+	}
+	return a.Age < b.Age
+}

@@ -1,0 +1,216 @@
+package policy
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestFetchNamesRoundTrip(t *testing.T) {
+	for _, alg := range []FetchAlg{RR, BRCount, MissCount, ICount, IQPosn} {
+		got, err := ParseFetchAlg(alg.String())
+		if err != nil || got != alg {
+			t.Errorf("round trip %v: got %v, err %v", alg, got, err)
+		}
+	}
+	if _, err := ParseFetchAlg("BOGUS"); err == nil {
+		t.Error("expected parse error")
+	}
+}
+
+func TestIssueNamesRoundTrip(t *testing.T) {
+	for _, alg := range []IssueAlg{OldestFirst, OptLast, SpecLast, BranchFirst} {
+		got, err := ParseIssueAlg(alg.String())
+		if err != nil || got != alg {
+			t.Errorf("round trip %v: got %v, err %v", alg, got, err)
+		}
+	}
+	if _, err := ParseIssueAlg("BOGUS"); err == nil {
+		t.Error("expected parse error")
+	}
+}
+
+func TestRRRotates(t *testing.T) {
+	fb := make([]ThreadFeedback, 4)
+	out := make([]int, 0, 4)
+	got0 := FetchOrder(RR, 0, fb, out)
+	if !equal(got0, []int{0, 1, 2, 3}) {
+		t.Fatalf("rrBase 0: %v", got0)
+	}
+	got2 := FetchOrder(RR, 2, fb, make([]int, 0, 4))
+	if !equal(got2, []int{2, 3, 0, 1}) {
+		t.Fatalf("rrBase 2: %v", got2)
+	}
+}
+
+func TestICountPrefersEmptiestThread(t *testing.T) {
+	fb := []ThreadFeedback{
+		{ICount: 20}, {ICount: 3}, {ICount: 11}, {ICount: 3},
+	}
+	got := FetchOrder(ICount, 0, fb, make([]int, 0, 4))
+	// Threads 1 and 3 tie at 3; round-robin from base 0 keeps 1 before 3.
+	if !equal(got, []int{1, 3, 2, 0}) {
+		t.Fatalf("ICOUNT order = %v", got)
+	}
+	// With rrBase 3, the tie resolves 3 before 1.
+	got = FetchOrder(ICount, 3, fb, make([]int, 0, 4))
+	if !equal(got, []int{3, 1, 2, 0}) {
+		t.Fatalf("ICOUNT order rrBase=3: %v", got)
+	}
+}
+
+func TestBRCountAndMissCount(t *testing.T) {
+	fb := []ThreadFeedback{
+		{BrCount: 5, MissCount: 0},
+		{BrCount: 0, MissCount: 7},
+		{BrCount: 2, MissCount: 2},
+	}
+	if got := FetchOrder(BRCount, 0, fb, nil); !equal(got, []int{1, 2, 0}) {
+		t.Fatalf("BRCOUNT = %v", got)
+	}
+	if got := FetchOrder(MissCount, 0, fb, nil); !equal(got, []int{0, 2, 1}) {
+		t.Fatalf("MISSCOUNT = %v", got)
+	}
+}
+
+func TestIQPosnPrefersFarFromHead(t *testing.T) {
+	fb := []ThreadFeedback{
+		{IQPosn: 0},   // oldest instruction at the very head: worst
+		{IQPosn: 900}, // nothing in queue: best
+		{IQPosn: 12},
+	}
+	if got := FetchOrder(IQPosn, 0, fb, nil); !equal(got, []int{1, 2, 0}) {
+		t.Fatalf("IQPOSN = %v", got)
+	}
+}
+
+// Property: FetchOrder is always a permutation of all threads.
+func TestFetchOrderPermutationProperty(t *testing.T) {
+	f := func(algRaw uint8, base uint8, counts []uint8) bool {
+		if len(counts) == 0 {
+			return true
+		}
+		if len(counts) > 8 {
+			counts = counts[:8]
+		}
+		alg := FetchAlg(algRaw % 5)
+		fb := make([]ThreadFeedback, len(counts))
+		for i, c := range counts {
+			fb[i] = ThreadFeedback{
+				ICount: int(c), BrCount: int(c / 2),
+				MissCount: int(c % 5), IQPosn: int(c) * 3,
+			}
+		}
+		got := FetchOrder(alg, int(base)%len(fb), fb, nil)
+		if len(got) != len(fb) {
+			return false
+		}
+		seen := make([]bool, len(fb))
+		for _, t := range got {
+			if t < 0 || t >= len(fb) || seen[t] {
+				return false
+			}
+			seen[t] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: counter policies produce non-decreasing key sequences.
+func TestFetchOrderSortedProperty(t *testing.T) {
+	f := func(counts []uint8, base uint8) bool {
+		if len(counts) < 2 {
+			return true
+		}
+		if len(counts) > 8 {
+			counts = counts[:8]
+		}
+		fb := make([]ThreadFeedback, len(counts))
+		for i, c := range counts {
+			fb[i].ICount = int(c)
+		}
+		got := FetchOrder(ICount, int(base)%len(fb), fb, nil)
+		return sort.SliceIsSorted(got, func(i, j int) bool {
+			return fb[got[i]].ICount < fb[got[j]].ICount
+		}) || isStableSorted(got, fb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func isStableSorted(order []int, fb []ThreadFeedback) bool {
+	for i := 1; i < len(order); i++ {
+		if fb[order[i-1]].ICount > fb[order[i]].ICount {
+			return false
+		}
+	}
+	return true
+}
+
+func TestIssueLessOldestFirst(t *testing.T) {
+	a := IssueInfo{Age: 5}
+	b := IssueInfo{Age: 9}
+	if !Less(OldestFirst, a, b) || Less(OldestFirst, b, a) {
+		t.Fatal("OLDEST_FIRST not by age")
+	}
+}
+
+func TestIssueLessOptLast(t *testing.T) {
+	opt := IssueInfo{Age: 1, Optimistic: true}
+	reg := IssueInfo{Age: 100}
+	if !Less(OptLast, reg, opt) {
+		t.Fatal("OPT_LAST must defer optimistic instructions")
+	}
+	// Among equals, oldest wins.
+	if !Less(OptLast, IssueInfo{Age: 1, Optimistic: true}, IssueInfo{Age: 2, Optimistic: true}) {
+		t.Fatal("OPT_LAST tie-break not oldest-first")
+	}
+}
+
+func TestIssueLessSpecLast(t *testing.T) {
+	spec := IssueInfo{Age: 1, Speculative: true}
+	nonspec := IssueInfo{Age: 100}
+	if !Less(SpecLast, nonspec, spec) {
+		t.Fatal("SPEC_LAST must defer speculative instructions")
+	}
+}
+
+func TestIssueLessBranchFirst(t *testing.T) {
+	br := IssueInfo{Age: 100, Branch: true}
+	alu := IssueInfo{Age: 1}
+	if !Less(BranchFirst, br, alu) {
+		t.Fatal("BRANCH_FIRST must promote branches")
+	}
+}
+
+// Property: Less is a strict weak ordering (irreflexive, asymmetric).
+func TestIssueLessAsymmetryProperty(t *testing.T) {
+	f := func(algRaw, aFlags, bFlags uint8, aAge, bAge uint16) bool {
+		alg := IssueAlg(algRaw % 4)
+		a := IssueInfo{Age: int64(aAge), Optimistic: aFlags&1 != 0, Speculative: aFlags&2 != 0, Branch: aFlags&4 != 0}
+		b := IssueInfo{Age: int64(bAge), Optimistic: bFlags&1 != 0, Speculative: bFlags&2 != 0, Branch: bFlags&4 != 0}
+		if Less(alg, a, a) {
+			return false
+		}
+		return !(Less(alg, a, b) && Less(alg, b, a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func equal(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,244 @@
+// Package workload generates the synthetic multiprogrammed workload that
+// stands in for the paper's SPEC92 + TeX benchmark set.
+//
+// The paper drives its simulator with unmodified Alpha object code executed
+// by an emulator derived from MIPSI. That substrate is unavailable here, so
+// this package provides the closest synthetic equivalent that exercises the
+// same simulator code paths:
+//
+//   - a static code image per benchmark (Program), which the fetch unit reads
+//     from arbitrary PCs — including down wrong paths after a misprediction;
+//   - an architectural oracle (Walker) that produces the correct dynamic
+//     path: per-branch outcomes, targets, and per-access memory addresses;
+//   - eight benchmark profiles calibrated to first-order SPEC92 statistics
+//     (instruction mix, basic-block size, branch predictability, code and
+//     data footprints) so that the aggregate dynamics the paper's results
+//     depend on — limited per-thread ILP, IQ clog behind cache misses, fetch
+//     fragmentation, cache and predictor pressure that grows with thread
+//     count — are reproduced.
+//
+// Programs are deterministic functions of (profile, seed), so experiments are
+// exactly reproducible.
+package workload
+
+import "fmt"
+
+// BranchKind classifies the dynamic behaviour of a static conditional branch.
+type BranchKind uint8
+
+// Conditional-branch behaviour classes used by the generator.
+const (
+	BranchLoop    BranchKind = iota // loop back-edge: taken until trip count exhausts
+	BranchBiased                    // strongly biased (e.g. error checks): taken with fixed high/low probability
+	BranchRandom                    // data-dependent, weakly biased: hard to predict
+	BranchPattern                   // short repeating pattern (e.g. alternating)
+	BranchGuard                     // recursion guard: probabilistic, depth-capped by the walker
+)
+
+// Profile parameterises one synthetic benchmark. Fields are tuned per
+// benchmark in Profiles; see the package comment for the calibration goals.
+type Profile struct {
+	Name string
+
+	// Code shape.
+	CodeInstrs   int     // approximate static instructions in the image
+	Procedures   int     // number of procedures
+	AvgBlock     float64 // mean instructions between control transfers
+	LoopFrac     float64 // fraction of control structures that are loops
+	CallFrac     float64 // probability a block ends in a call
+	IndirectFrac float64 // probability a control structure is a jump table
+	RecurseFrac  float64 // fraction of procedures that may self-recurse
+	LoopTrip     float64 // mean loop trip count
+
+	// Branch predictability: distribution over BranchKind for non-loop
+	// conditional branches. Must sum to <= 1; remainder is BranchBiased.
+	RandomBranchFrac  float64
+	PatternBranchFrac float64
+	BiasedTakenProb   float64 // taken probability of biased branches
+	RandomTakenProb   float64 // taken probability of random branches
+
+	// Instruction mix within basic blocks (fractions of non-control slots).
+	FPFrac      float64 // floating-point computation fraction
+	LoadFrac    float64
+	StoreFrac   float64
+	IntMulFrac  float64 // of integer ops, fraction that are multiplies
+	FPDivFrac   float64 // of fp ops, fraction that are divides
+	CondMovFrac float64
+
+	// Dependence structure.
+	DepChain  float64 // probability a source comes from a recently written register
+	LoadUse   float64 // probability instructions shortly after a load consume it
+	AccumFrac float64 // fraction of computation extending loop-carried accumulator chains
+
+	// Memory behaviour.
+	DataKB      int     // total data footprint in kilobytes
+	NumRegions  int     // number of distinct data regions
+	StrideFrac  float64 // fraction of memory ops that stride through a region
+	PointerFrac float64 // fraction that pointer-chase (clustered random)
+	StackFrac   float64 // fraction that hit the small hot stack region
+	// remainder of memory ops are uniform random within a region
+}
+
+// String returns the benchmark name.
+func (p Profile) String() string { return p.Name }
+
+// Validate checks that the profile's distributions are well formed.
+func (p Profile) Validate() error {
+	sums := []struct {
+		name string
+		v    float64
+	}{
+		{"branch kinds", p.RandomBranchFrac + p.PatternBranchFrac},
+		{"memory patterns", p.StrideFrac + p.PointerFrac + p.StackFrac},
+		{"instruction mix", p.FPFrac + p.LoadFrac + p.StoreFrac},
+	}
+	for _, s := range sums {
+		if s.v < 0 || s.v > 1 {
+			return fmt.Errorf("workload %s: %s fractions sum to %v, want [0,1]", p.Name, s.name, s.v)
+		}
+	}
+	if p.CodeInstrs < 64 {
+		return fmt.Errorf("workload %s: CodeInstrs %d too small", p.Name, p.CodeInstrs)
+	}
+	if p.Procedures < 1 {
+		return fmt.Errorf("workload %s: need at least one procedure", p.Name)
+	}
+	if p.AvgBlock < 2 {
+		return fmt.Errorf("workload %s: AvgBlock %v too small", p.Name, p.AvgBlock)
+	}
+	if p.DataKB < 1 || p.NumRegions < 1 {
+		return fmt.Errorf("workload %s: bad data footprint", p.Name)
+	}
+	return nil
+}
+
+// Profiles returns the eight benchmark stand-ins used throughout the paper's
+// evaluation: five floating-point SPEC92 codes (alvinn, doduc, fpppp, ora,
+// tomcatv), two integer SPEC92 codes (espresso, xlisp), and TeX.
+//
+// Calibration targets (paper Table 3, single thread): conditional branch
+// mispredict ~5%, I-cache miss ~2.5%, D-cache miss ~3%, per-thread IPC ~2.1
+// on the 8-wide machine.
+func Profiles() []Profile {
+	return []Profile{
+		{
+			// alvinn: neural-net training. Tiny kernel loops sweeping large
+			// weight arrays; very predictable branches; fp-heavy.
+			Name: "alvinn", CodeInstrs: 1600, Procedures: 6, AvgBlock: 11,
+			LoopFrac: 0.65, CallFrac: 0.03, IndirectFrac: 0.0, RecurseFrac: 0,
+			LoopTrip: 36, RandomBranchFrac: 0.04, PatternBranchFrac: 0.05,
+			BiasedTakenProb: 0.97, RandomTakenProb: 0.7,
+			FPFrac: 0.34, LoadFrac: 0.26, StoreFrac: 0.08,
+			IntMulFrac: 0.01, FPDivFrac: 0.01, CondMovFrac: 0.01,
+			DepChain: 0.54, LoadUse: 0.65, AccumFrac: 0.32,
+			DataKB: 384, NumRegions: 6,
+			StrideFrac: 0.55, PointerFrac: 0.02, StackFrac: 0.40,
+		},
+		{
+			// doduc: Monte Carlo nuclear reactor simulation. Mid-size code,
+			// moderate blocks, some unpredictable physics branches.
+			Name: "doduc", CodeInstrs: 6200, Procedures: 22, AvgBlock: 9,
+			LoopFrac: 0.45, CallFrac: 0.07, IndirectFrac: 0.01, RecurseFrac: 0,
+			LoopTrip: 14, RandomBranchFrac: 0.1, PatternBranchFrac: 0.06,
+			BiasedTakenProb: 0.95, RandomTakenProb: 0.68,
+			FPFrac: 0.3, LoadFrac: 0.25, StoreFrac: 0.09,
+			IntMulFrac: 0.01, FPDivFrac: 0.04, CondMovFrac: 0.02,
+			DepChain: 0.62, LoadUse: 0.6, AccumFrac: 0.22,
+			DataKB: 128, NumRegions: 6,
+			StrideFrac: 0.38, PointerFrac: 0.08, StackFrac: 0.48,
+		},
+		{
+			// fpppp: quantum chemistry. Famous for enormous basic blocks and
+			// very high fp density; few, predictable branches; big code.
+			Name: "fpppp", CodeInstrs: 11000, Procedures: 10, AvgBlock: 34,
+			LoopFrac: 0.5, CallFrac: 0.04, IndirectFrac: 0, RecurseFrac: 0,
+			LoopTrip: 22, RandomBranchFrac: 0.04, PatternBranchFrac: 0.04,
+			BiasedTakenProb: 0.97, RandomTakenProb: 0.7,
+			FPFrac: 0.42, LoadFrac: 0.25, StoreFrac: 0.12,
+			IntMulFrac: 0.01, FPDivFrac: 0.03, CondMovFrac: 0.01,
+			DepChain: 0.5, LoadUse: 0.55, AccumFrac: 0.28,
+			DataKB: 128, NumRegions: 8,
+			StrideFrac: 0.42, PointerFrac: 0.03, StackFrac: 0.50,
+		},
+		{
+			// ora: optical ray tracing. Tiny code and data, heavy fp divide /
+			// sqrt chains - long-latency dependence chains, low ILP.
+			Name: "ora", CodeInstrs: 900, Procedures: 5, AvgBlock: 12,
+			LoopFrac: 0.55, CallFrac: 0.05, IndirectFrac: 0, RecurseFrac: 0,
+			LoopTrip: 18, RandomBranchFrac: 0.06, PatternBranchFrac: 0.04,
+			BiasedTakenProb: 0.96, RandomTakenProb: 0.7,
+			FPFrac: 0.38, LoadFrac: 0.2, StoreFrac: 0.07,
+			IntMulFrac: 0.01, FPDivFrac: 0.1, CondMovFrac: 0.01,
+			DepChain: 0.7, LoadUse: 0.55, AccumFrac: 0.32,
+			DataKB: 24, NumRegions: 3,
+			StrideFrac: 0.25, PointerFrac: 0.03, StackFrac: 0.68,
+		},
+		{
+			// tomcatv: vectorizable mesh generation. Small kernel, long
+			// stride sweeps over ~1MB arrays - D-cache and memory bandwidth.
+			Name: "tomcatv", CodeInstrs: 1100, Procedures: 4, AvgBlock: 14,
+			LoopFrac: 0.7, CallFrac: 0.02, IndirectFrac: 0, RecurseFrac: 0,
+			LoopTrip: 60, RandomBranchFrac: 0.03, PatternBranchFrac: 0.03,
+			BiasedTakenProb: 0.97, RandomTakenProb: 0.7,
+			FPFrac: 0.36, LoadFrac: 0.27, StoreFrac: 0.1,
+			IntMulFrac: 0.0, FPDivFrac: 0.02, CondMovFrac: 0.01,
+			DepChain: 0.52, LoadUse: 0.65, AccumFrac: 0.12,
+			DataKB: 1024, NumRegions: 7,
+			StrideFrac: 0.60, PointerFrac: 0.0, StackFrac: 0.36,
+		},
+		{
+			// espresso: boolean minimization. Branchy integer code, bit-set
+			// sweeps mixed with table lookups; mid-size code and data.
+			Name: "espresso", CodeInstrs: 13000, Procedures: 40, AvgBlock: 5.4,
+			LoopFrac: 0.38, CallFrac: 0.08, IndirectFrac: 0.02, RecurseFrac: 0.05,
+			LoopTrip: 16, RandomBranchFrac: 0.07, PatternBranchFrac: 0.08,
+			BiasedTakenProb: 0.95, RandomTakenProb: 0.68,
+			FPFrac: 0.0, LoadFrac: 0.24, StoreFrac: 0.07,
+			IntMulFrac: 0.01, FPDivFrac: 0, CondMovFrac: 0.03,
+			DepChain: 0.64, LoadUse: 0.62, AccumFrac: 0.28,
+			DataKB: 192, NumRegions: 8,
+			StrideFrac: 0.30, PointerFrac: 0.12, StackFrac: 0.50,
+		},
+		{
+			// xlisp: lisp interpreter. Very branchy, deep recursion, pointer
+			// chasing through cons cells, many calls/returns and a big
+			// dispatch switch (indirect jumps).
+			Name: "xlisp", CodeInstrs: 9000, Procedures: 36, AvgBlock: 4.6,
+			LoopFrac: 0.22, CallFrac: 0.13, IndirectFrac: 0.05, RecurseFrac: 0.3,
+			LoopTrip: 12, RandomBranchFrac: 0.06, PatternBranchFrac: 0.07,
+			BiasedTakenProb: 0.94, RandomTakenProb: 0.68,
+			FPFrac: 0.0, LoadFrac: 0.28, StoreFrac: 0.1,
+			IntMulFrac: 0.0, FPDivFrac: 0, CondMovFrac: 0.02,
+			DepChain: 0.7, LoadUse: 0.68, AccumFrac: 0.30,
+			DataKB: 224, NumRegions: 5,
+			StrideFrac: 0.08, PointerFrac: 0.30, StackFrac: 0.56,
+		},
+		{
+			// tex: document typesetting. Largest code footprint (I-cache
+			// pressure), branchy, table-driven with indirect dispatch.
+			Name: "tex", CodeInstrs: 22000, Procedures: 70, AvgBlock: 5.8,
+			LoopFrac: 0.3, CallFrac: 0.1, IndirectFrac: 0.03, RecurseFrac: 0.1,
+			LoopTrip: 13, RandomBranchFrac: 0.07, PatternBranchFrac: 0.08,
+			BiasedTakenProb: 0.95, RandomTakenProb: 0.68,
+			FPFrac: 0.01, LoadFrac: 0.26, StoreFrac: 0.1,
+			IntMulFrac: 0.01, FPDivFrac: 0, CondMovFrac: 0.02,
+			DepChain: 0.62, LoadUse: 0.64, AccumFrac: 0.28,
+			DataKB: 256, NumRegions: 8,
+			StrideFrac: 0.22, PointerFrac: 0.16, StackFrac: 0.54,
+		},
+	}
+}
+
+// ProfileByName returns the named profile, or an error listing valid names.
+func ProfileByName(name string) (Profile, error) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	names := make([]string, 0, 8)
+	for _, p := range Profiles() {
+		names = append(names, p.Name)
+	}
+	return Profile{}, fmt.Errorf("workload: unknown benchmark %q (have %v)", name, names)
+}

@@ -1,0 +1,239 @@
+// Package smt is the public API of the simultaneous multithreading
+// processor simulator reproducing Tullsen et al., "Exploiting Choice:
+// Instruction Fetch and Issue on an Implementable Simultaneous
+// Multithreading Processor" (ISCA 1996).
+//
+// A Simulator wraps one machine configuration (Config) running one
+// multiprogrammed workload (a set of synthetic SPEC92-like benchmarks, one
+// per hardware context). The usual flow:
+//
+//	cfg := smt.DefaultConfig(8)
+//	cfg.FetchPolicy = smt.FetchICount
+//	cfg.FetchThreads = 2 // the paper's ICOUNT.2.8
+//	sim, err := smt.New(cfg, smt.WorkloadMix(8, 0, 1))
+//	...
+//	res := sim.Run(1_000_000)
+//	fmt.Println(res.IPC)
+//
+// The paper's measurement methodology (Section 3) averages several runs with
+// rotated benchmark-to-thread assignments; Experiment in package exp drives
+// that, and cmd/experiments regenerates every table and figure.
+package smt
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/policy"
+	"repro/internal/workload"
+)
+
+// Config describes one machine. It re-exports the core configuration; see
+// DefaultConfig and Superscalar for the paper's two baselines.
+type Config = core.Config
+
+// SpecMode selects the Section 7 speculation restrictions.
+type SpecMode = core.SpecMode
+
+// Speculation modes (Section 7).
+const (
+	SpecFull         = core.SpecFull
+	SpecNoPassBranch = core.SpecNoPassBranch
+	SpecNoWrongPath  = core.SpecNoWrongPath
+)
+
+// Fetch thread-choice policies (Section 5.2).
+const (
+	FetchRR        = policy.RR
+	FetchBRCount   = policy.BRCount
+	FetchMissCount = policy.MissCount
+	FetchICount    = policy.ICount
+	FetchIQPosn    = policy.IQPosn
+)
+
+// Issue policies (Section 6).
+const (
+	IssueOldestFirst = policy.OldestFirst
+	IssueOptLast     = policy.OptLast
+	IssueSpecLast    = policy.SpecLast
+	IssueBranchFirst = policy.BranchFirst
+)
+
+// DefaultConfig returns the paper's baseline SMT machine with the given
+// number of hardware contexts (RR.1.8 fetch, OLDEST_FIRST issue, Table 1/2
+// resources).
+func DefaultConfig(threads int) Config { return core.DefaultConfig(threads) }
+
+// Superscalar returns the unmodified wide-issue superscalar baseline
+// (Figure 2a pipeline, one context).
+func Superscalar() Config { return core.Superscalar() }
+
+// Benchmarks returns the names of the eight workload programs (the paper's
+// SPEC92 subset plus TeX).
+func Benchmarks() []string {
+	ps := workload.Profiles()
+	names := make([]string, len(ps))
+	for i, p := range ps {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// WorkloadSpec names the benchmarks to run, one per hardware context.
+type WorkloadSpec struct {
+	Names []string
+	Seed  uint64
+}
+
+// WorkloadMix builds a spec of `threads` distinct benchmarks starting at
+// `rotate` in the canonical order — the paper composes each data point from
+// runs with different benchmark combinations; varying rotate reproduces
+// that.
+func WorkloadMix(threads, rotate int, seed uint64) WorkloadSpec {
+	names := Benchmarks()
+	spec := WorkloadSpec{Seed: seed}
+	for i := 0; i < threads; i++ {
+		spec.Names = append(spec.Names, names[(rotate+i)%len(names)])
+	}
+	return spec
+}
+
+// Simulator is one machine instance bound to one workload.
+type Simulator struct {
+	proc *core.Processor
+	cfg  Config
+}
+
+// New builds a simulator: cfg.Threads programs are generated per spec and
+// loaded one per hardware context.
+func New(cfg Config, spec WorkloadSpec) (*Simulator, error) {
+	if len(spec.Names) != cfg.Threads {
+		return nil, fmt.Errorf("smt: workload names %d != threads %d", len(spec.Names), cfg.Threads)
+	}
+	programs := make([]*workload.Program, cfg.Threads)
+	for i, name := range spec.Names {
+		prof, err := workload.ProfileByName(name)
+		if err != nil {
+			return nil, err
+		}
+		prog, err := workload.New(prof, spec.Seed, i)
+		if err != nil {
+			return nil, err
+		}
+		programs[i] = prog
+	}
+	proc, err := core.New(cfg, programs)
+	if err != nil {
+		return nil, err
+	}
+	return &Simulator{proc: proc, cfg: cfg}, nil
+}
+
+// MustNew is New for known-good arguments; it panics on error.
+func MustNew(cfg Config, spec WorkloadSpec) *Simulator {
+	s, err := New(cfg, spec)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Config returns the simulator's machine configuration.
+func (s *Simulator) Config() Config { return s.cfg }
+
+// Warmup runs `instructions` commits without recording statistics, then
+// resets all counters (cache and predictor contents persist — that is the
+// point).
+func (s *Simulator) Warmup(instructions int64) {
+	s.proc.Run(instructions, 0)
+	s.proc.ResetStats()
+}
+
+// Run commits at least `instructions` more instructions and returns the
+// accumulated results.
+func (s *Simulator) Run(instructions int64) Results {
+	s.proc.Run(instructions, 0)
+	return s.Results()
+}
+
+// RunCycles advances exactly `cycles` cycles.
+func (s *Simulator) RunCycles(cycles int64) Results {
+	for i := int64(0); i < cycles; i++ {
+		s.proc.Step()
+	}
+	return s.Results()
+}
+
+// RawStats exposes the core's full counter set for detailed analysis; the
+// fields are documented in the core package.
+func (s *Simulator) RawStats() core.Stats { return s.proc.Stats() }
+
+// Results returns the current statistics snapshot.
+func (s *Simulator) Results() Results {
+	st := s.proc.Stats()
+	m := s.proc.Mem()
+	res := Results{
+		Cycles:            st.Cycles,
+		Committed:         st.Committed,
+		IPC:               st.IPC(),
+		CommittedByThread: st.CommittedByThread,
+		BranchMispredict:  st.CondMispredictRate(),
+		JumpMispredict:    st.JumpMispredictRate(),
+		WrongPathFetched:  st.WrongPathFetchedFrac(),
+		WrongPathIssued:   st.WrongPathIssuedFrac(),
+		OptimisticSquash:  st.OptimisticSquashFrac(),
+		UselessIssue:      st.UselessIssueFrac(),
+		IntIQFull:         st.IntIQFullFrac(),
+		FPIQFull:          st.FPIQFullFrac(),
+		OutOfRegisters:    st.OutOfRegFrac(),
+		AvgQueuePop:       st.AvgQueuePopulation(),
+		UsefulFetchPerCyc: st.UsefulFetchPerCycle(),
+	}
+	for i, l := range []mem.Level{mem.L1I, mem.L1D, mem.L2, mem.L3} {
+		cs := m.CacheStats(l)
+		res.Caches[i] = CacheResult{
+			Accesses: cs.Accesses,
+			Misses:   cs.Misses,
+			MissRate: cs.MissRate(),
+			PerK:     st.PerK(cs.Misses),
+		}
+	}
+	return res
+}
+
+// CacheResult summarizes one cache level.
+type CacheResult struct {
+	Accesses int64
+	Misses   int64
+	MissRate float64
+	PerK     float64 // misses per thousand committed instructions
+}
+
+// Results carries every metric the paper's tables report.
+type Results struct {
+	Cycles            int64
+	Committed         int64
+	IPC               float64
+	CommittedByThread []int64
+
+	BranchMispredict float64
+	JumpMispredict   float64
+	WrongPathFetched float64
+	WrongPathIssued  float64
+	OptimisticSquash float64
+	UselessIssue     float64
+
+	IntIQFull      float64
+	FPIQFull       float64
+	OutOfRegisters float64
+	AvgQueuePop    float64
+
+	UsefulFetchPerCyc float64
+
+	// Caches indexes L1I, L1D, L2, L3 in order.
+	Caches [4]CacheResult
+}
+
+// CacheNames labels Results.Caches entries.
+var CacheNames = [4]string{"ICache", "DCache", "L2", "L3"}

@@ -1,0 +1,128 @@
+package smt
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBenchmarksList(t *testing.T) {
+	names := Benchmarks()
+	if len(names) != 8 {
+		t.Fatalf("want 8 benchmarks, got %d", len(names))
+	}
+	want := map[string]bool{
+		"alvinn": true, "doduc": true, "fpppp": true, "ora": true,
+		"tomcatv": true, "espresso": true, "xlisp": true, "tex": true,
+	}
+	for _, n := range names {
+		if !want[n] {
+			t.Errorf("unexpected benchmark %q", n)
+		}
+	}
+}
+
+func TestWorkloadMixRotation(t *testing.T) {
+	a := WorkloadMix(4, 0, 1)
+	b := WorkloadMix(4, 1, 1)
+	if len(a.Names) != 4 || len(b.Names) != 4 {
+		t.Fatal("wrong mix size")
+	}
+	if a.Names[1] != b.Names[0] {
+		t.Fatalf("rotation broken: %v vs %v", a.Names, b.Names)
+	}
+	// All names distinct within a mix of <= 8.
+	seen := map[string]bool{}
+	for _, n := range a.Names {
+		if seen[n] {
+			t.Fatalf("duplicate %q in mix", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestNewRejectsMismatchedSpec(t *testing.T) {
+	cfg := DefaultConfig(4)
+	if _, err := New(cfg, WorkloadMix(2, 0, 1)); err == nil {
+		t.Fatal("expected error for 2 names on 4 threads")
+	}
+	spec := WorkloadMix(4, 0, 1)
+	spec.Names[2] = "not-a-benchmark"
+	if _, err := New(cfg, spec); err == nil {
+		t.Fatal("expected error for unknown benchmark")
+	}
+}
+
+func TestRunProducesResults(t *testing.T) {
+	cfg := DefaultConfig(2)
+	sim := MustNew(cfg, WorkloadMix(2, 0, 3))
+	sim.Warmup(20_000)
+	res := sim.Run(40_000)
+	if res.Committed < 40_000 {
+		t.Fatalf("committed %d", res.Committed)
+	}
+	if res.IPC <= 0 || res.IPC > 8 {
+		t.Fatalf("IPC %v", res.IPC)
+	}
+	if res.Caches[1].Accesses == 0 {
+		t.Fatal("no D-cache accesses recorded")
+	}
+	if len(res.CommittedByThread) != 2 {
+		t.Fatal("per-thread results missing")
+	}
+}
+
+func TestWarmupResetsCounters(t *testing.T) {
+	cfg := DefaultConfig(1)
+	sim := MustNew(cfg, WorkloadMix(1, 0, 3))
+	sim.Warmup(30_000)
+	res := sim.Results()
+	if res.Committed != 0 || res.Cycles != 0 {
+		t.Fatalf("warmup did not reset: %d committed, %d cycles", res.Committed, res.Cycles)
+	}
+	if sim.RawStats().Fetched != 0 {
+		t.Fatal("raw stats not reset")
+	}
+}
+
+func TestRunCycles(t *testing.T) {
+	cfg := DefaultConfig(1)
+	sim := MustNew(cfg, WorkloadMix(1, 0, 3))
+	res := sim.RunCycles(5000)
+	if res.Cycles != 5000 {
+		t.Fatalf("cycles %d, want 5000", res.Cycles)
+	}
+}
+
+func TestSuperscalarIsSingleThreadShortPipe(t *testing.T) {
+	cfg := Superscalar()
+	if cfg.Threads != 1 || cfg.SMTPipeline {
+		t.Fatalf("superscalar config wrong: %+v", cfg)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: WorkloadMix always yields the requested number of valid names.
+func TestWorkloadMixProperty(t *testing.T) {
+	f := func(threadsRaw, rotRaw uint8, seed uint64) bool {
+		threads := int(threadsRaw)%8 + 1
+		spec := WorkloadMix(threads, int(rotRaw), seed)
+		if len(spec.Names) != threads {
+			return false
+		}
+		valid := map[string]bool{}
+		for _, n := range Benchmarks() {
+			valid[n] = true
+		}
+		for _, n := range spec.Names {
+			if !valid[n] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
