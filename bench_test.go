@@ -178,6 +178,37 @@ func BenchmarkFig7RegisterBudget(b *testing.B) {
 	}
 }
 
+// engineBenchOpts sizes one multi-point engine run so the serial/parallel
+// pair below measures scheduling, not noise.
+func engineBenchOpts() exp.Opts {
+	return exp.Opts{Runs: 2, Warmup: 5_000, Measure: 10_000, Seed: 1}
+}
+
+// benchEngine runs the fig4 grid (4 schemes x 5 thread counts x 2
+// rotations = 40 independent simulations) through the experiment engine
+// with the given worker count.
+func benchEngine(b *testing.B, workers int) {
+	o := engineBenchOpts()
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Run("fig4", o, workers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Series) != 4 {
+			b.Fatalf("unexpected shape: %d series", len(res.Series))
+		}
+	}
+}
+
+// BenchmarkEngineFig4Serial is the single-worker baseline for the engine.
+func BenchmarkEngineFig4Serial(b *testing.B) { benchEngine(b, 1) }
+
+// BenchmarkEngineFig4Parallel runs the same grid across GOMAXPROCS
+// workers. Output is bit-identical to the serial run (the determinism tests
+// prove it); on a 4-core machine wall-clock drops well over 2x because the
+// 40 jobs are independent.
+func BenchmarkEngineFig4Parallel(b *testing.B) { benchEngine(b, 0) }
+
 // BenchmarkSimulatorSpeed measures raw simulation speed (simulated
 // instructions per wall-clock second) on the 8-thread ICOUNT.2.8 machine.
 func BenchmarkSimulatorSpeed(b *testing.B) {

@@ -1,18 +1,29 @@
 // Command experiments regenerates every table and figure of the paper's
-// evaluation (Tullsen et al., ISCA 1996). Each experiment prints the same
-// rows or series the paper reports; see EXPERIMENTS.md for the side-by-side
-// comparison with the published numbers.
+// evaluation (Tullsen et al., ISCA 1996) through the parallel experiment
+// engine in internal/exp. Each experiment prints the same rows or series
+// the paper reports, or emits machine-readable JSON with -json.
 //
 // Usage:
 //
-//	experiments -run all
-//	experiments -run fig3,table3 -runs 4 -measure 100000
+//	experiments -list
+//	experiments -experiment all
+//	experiments -experiment fig3,table3 -runs 4 -measure 100000
+//	experiments -experiment fig4 -parallel 8 -json > fig4.json
+//
+// Output is bit-identical for every -parallel value: each simulation's seed
+// derives from its rotation index, never from scheduling order — and all
+// configurations within a grid share seeds per rotation, so IPC deltas
+// between points isolate the machine change (the paper's paired
+// methodology).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 
@@ -20,75 +31,143 @@ import (
 )
 
 func main() {
-	var (
-		run     = flag.String("run", "all", "comma-separated experiments: fig3,table3,fig4,fig5,table4,fig6,table5,sec7,fig7")
-		runs    = flag.Int("runs", 4, "benchmark rotations per data point")
-		warmup  = flag.Int64("warmup", 30000, "warmup instructions per thread")
-		measure = flag.Int64("measure", 60000, "measured instructions per thread")
-		seed    = flag.Uint64("seed", 1, "workload seed")
-	)
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	o := exp.Opts{Runs: *runs, Warmup: *warmup, Measure: *measure, Seed: *seed}
+// run is main with its dependencies injected, so tests can drive the CLI.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		experiment = fs.String("experiment", "all", "comma-separated experiments (see -list), or all")
+		runAlias   = fs.String("run", "", "alias for -experiment (kept for compatibility)")
+		parallel   = fs.Int("parallel", runtime.GOMAXPROCS(0), "simulation worker pool size")
+		jsonOut    = fs.Bool("json", false, "emit machine-readable JSON instead of tables")
+		list       = fs.Bool("list", false, "list registered experiments and exit")
+		runs       = fs.Int("runs", 4, "benchmark rotations per data point")
+		warmup     = fs.Int64("warmup", 30000, "warmup instructions per thread")
+		measure    = fs.Int64("measure", 60000, "measured instructions per thread")
+		seed       = fs.Uint64("seed", 1, "workload seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
+
+	if *list {
+		for _, e := range exp.Experiments() {
+			fmt.Fprintf(stdout, "%-8s %s\n", e.Name, e.Title)
+		}
+		return 0
+	}
+
+	expSet, runSet := false, false
+	fs.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "experiment":
+			expSet = true
+		case "run":
+			runSet = true
+		}
+	})
+	if expSet && runSet {
+		fmt.Fprintln(stderr, "-experiment and -run are aliases; pass only one")
+		return 2
+	}
+	sel := *experiment
+	if runSet {
+		sel = *runAlias
+	}
 	want := map[string]bool{}
-	for _, name := range strings.Split(*run, ",") {
-		want[strings.TrimSpace(name)] = true
+	for _, name := range strings.Split(sel, ",") {
+		if name = strings.TrimSpace(name); name != "" { // tolerate trailing commas
+			want[name] = true
+		}
+	}
+	if len(want) == 0 {
+		fmt.Fprintln(stderr, "no experiment selected (see -list)")
+		return 2
 	}
 	all := want["all"]
-
-	ran := false
-	for _, e := range experiments {
-		if all || want[e.name] {
-			fmt.Printf("==== %s — %s ====\n", e.name, e.title)
-			e.fn(o)
-			fmt.Println()
-			ran = true
+	for name := range want {
+		if name == "all" {
+			continue
+		}
+		if _, ok := exp.Lookup(name); !ok {
+			fmt.Fprintf(stderr, "unknown experiment %q (see -list)\n", name)
+			return 2
 		}
 	}
-	if !ran {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *run)
-		os.Exit(2)
+
+	o := exp.Opts{Runs: *runs, Warmup: *warmup, Measure: *measure, Seed: *seed}
+	var jsonResults []*exp.ExperimentResult
+	for _, e := range exp.Experiments() {
+		if !all && !want[e.Name] {
+			continue
+		}
+		res, err := exp.Runner{Workers: *parallel}.RunExperiment(e, o)
+		if err != nil {
+			fmt.Fprintln(stderr, "experiments:", err)
+			return 1
+		}
+		if *jsonOut {
+			jsonResults = append(jsonResults, res)
+		} else {
+			fmt.Fprintf(stdout, "==== %s — %s ====\n", e.Name, e.Title)
+			printers[e.Name](stdout, res)
+			fmt.Fprintln(stdout)
+		}
 	}
+	if *jsonOut {
+		// One valid JSON document however many experiments were selected.
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(jsonResults); err != nil {
+			fmt.Fprintln(stderr, "experiments:", err)
+			return 1
+		}
+	}
+	return 0
 }
 
-var experiments = []struct {
-	name  string
-	title string
-	fn    func(exp.Opts)
-}{
-	{"fig3", "Figure 3: base RR.1.8 throughput vs. threads", runFig3},
-	{"table3", "Table 3: low-level metrics at 1, 4, 8 threads (RR.1.8)", runTable3},
-	{"fig4", "Figure 4: fetch partitioning schemes", runFig4},
-	{"fig5", "Figure 5: fetch-choice policies", runFig5},
-	{"table4", "Table 4: RR vs ICOUNT low-level metrics", runTable4},
-	{"fig6", "Figure 6: BIGQ and ITAG on top of ICOUNT", runFig6},
-	{"table5", "Table 5: issue policies", runTable5},
-	{"sec7", "Section 7: bottleneck studies around ICOUNT.2.8", runSec7},
-	{"fig7", "Figure 7: 200 physical registers, 1-5 contexts", runFig7},
+// printers formats each experiment's engine result the way the paper lays
+// it out; every registry entry must have one (enforced by a test).
+var printers = map[string]func(io.Writer, *exp.ExperimentResult){
+	"fig3":   printFig3,
+	"table3": printTable3,
+	"fig4":   printSeries,
+	"fig5":   printSeries,
+	"table4": printTable4,
+	"fig6":   printSeries,
+	"table5": printTable5,
+	"sec7":   printSec7,
+	"fig7":   printFig7,
 }
 
-func runFig3(o exp.Opts) {
-	base, ss := exp.Fig3(o)
-	fmt.Printf("%-12s %s\n", "threads", "IPC")
+func printFig3(w io.Writer, res *exp.ExperimentResult) {
+	base, ss := exp.Fig3Result(res)
+	fmt.Fprintf(w, "%-12s %s\n", "threads", "IPC")
 	for _, p := range base {
-		fmt.Printf("%-12d %.2f\n", p.Threads, p.IPC)
+		fmt.Fprintf(w, "%-12d %.2f\n", p.Threads, p.IPC)
 	}
-	fmt.Printf("%-12s %.2f\n", "superscalar", ss.IPC)
+	fmt.Fprintf(w, "%-12s %.2f\n", "superscalar", ss.IPC)
 }
 
-func runTable3(o exp.Opts) {
-	rows := exp.Table3(o)
-	fmt.Printf("%-40s", "metric")
+func printTable3(w io.Writer, res *exp.ExperimentResult) {
+	rows := exp.Table3Rows(res)
+	fmt.Fprintf(w, "%-40s", "metric")
 	for _, r := range rows {
-		fmt.Printf("%10s", fmt.Sprintf("T=%d", r.Threads))
+		fmt.Fprintf(w, "%10s", fmt.Sprintf("T=%d", r.Threads))
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 	metric := func(name string, f func(i int) string) {
-		fmt.Printf("%-40s", name)
+		fmt.Fprintf(w, "%-40s", name)
 		for i := range rows {
-			fmt.Printf("%10s", f(i))
+			fmt.Fprintf(w, "%10s", f(i))
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 	}
 	pct := func(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }
 	metric("throughput (IPC)", func(i int) string { return fmt.Sprintf("%.2f", rows[i].Res.IPC) })
@@ -110,70 +189,70 @@ func runTable3(o exp.Opts) {
 	metric("wrong-path instructions issued", func(i int) string { return pct(rows[i].Res.WrongPathIssued) })
 }
 
-func printSeries(series map[string][]exp.Point) {
+func printSeries(w io.Writer, res *exp.ExperimentResult) {
+	series := res.SeriesMap()
 	names := make([]string, 0, len(series))
 	for name := range series {
 		names = append(names, name)
 	}
 	sort.Strings(names)
 	first := series[names[0]]
-	fmt.Printf("%-20s", "scheme\\threads")
+	fmt.Fprintf(w, "%-20s", "scheme\\threads")
 	for _, p := range first {
-		fmt.Printf("%8d", p.Threads)
+		fmt.Fprintf(w, "%8d", p.Threads)
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 	for _, name := range names {
-		fmt.Printf("%-20s", name)
+		fmt.Fprintf(w, "%-20s", name)
 		for _, p := range series[name] {
-			fmt.Printf("%8.2f", p.IPC)
+			fmt.Fprintf(w, "%8.2f", p.IPC)
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 	}
 }
 
-func runFig4(o exp.Opts) { printSeries(exp.Fig4(o)) }
-func runFig5(o exp.Opts) { printSeries(exp.Fig5(o)) }
-func runFig6(o exp.Opts) { printSeries(exp.Fig6(o)) }
-
-func runTable4(o exp.Opts) {
-	one, rr, ic := exp.Table4(o)
-	fmt.Printf("%-36s %12s %12s %12s\n", "metric", "1 thread", "RR.2.8", "ICOUNT.2.8")
+func printTable4(w io.Writer, res *exp.ExperimentResult) {
+	one, rr, ic := exp.Table4Results(res)
+	fmt.Fprintf(w, "%-36s %12s %12s %12s\n", "metric", "1 thread", "RR.2.8", "ICOUNT.2.8")
 	pct := func(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }
-	fmt.Printf("%-36s %12.2f %12.2f %12.2f\n", "throughput (IPC)", one.IPC, rr.IPC, ic.IPC)
-	fmt.Printf("%-36s %12s %12s %12s\n", "integer IQ-full (% of cycles)", pct(one.IntIQFull), pct(rr.IntIQFull), pct(ic.IntIQFull))
-	fmt.Printf("%-36s %12s %12s %12s\n", "fp IQ-full (% of cycles)", pct(one.FPIQFull), pct(rr.FPIQFull), pct(ic.FPIQFull))
-	fmt.Printf("%-36s %12.0f %12.0f %12.0f\n", "avg queue population", one.AvgQueuePop, rr.AvgQueuePop, ic.AvgQueuePop)
-	fmt.Printf("%-36s %12s %12s %12s\n", "out-of-registers (% of cycles)", pct(one.OutOfRegisters), pct(rr.OutOfRegisters), pct(ic.OutOfRegisters))
+	fmt.Fprintf(w, "%-36s %12.2f %12.2f %12.2f\n", "throughput (IPC)", one.IPC, rr.IPC, ic.IPC)
+	fmt.Fprintf(w, "%-36s %12s %12s %12s\n", "integer IQ-full (% of cycles)", pct(one.IntIQFull), pct(rr.IntIQFull), pct(ic.IntIQFull))
+	fmt.Fprintf(w, "%-36s %12s %12s %12s\n", "fp IQ-full (% of cycles)", pct(one.FPIQFull), pct(rr.FPIQFull), pct(ic.FPIQFull))
+	fmt.Fprintf(w, "%-36s %12.0f %12.0f %12.0f\n", "avg queue population", one.AvgQueuePop, rr.AvgQueuePop, ic.AvgQueuePop)
+	fmt.Fprintf(w, "%-36s %12s %12s %12s\n", "out-of-registers (% of cycles)", pct(one.OutOfRegisters), pct(rr.OutOfRegisters), pct(ic.OutOfRegisters))
 }
 
-func runTable5(o exp.Opts) {
-	rows := exp.Table5(o)
-	fmt.Printf("%-14s", "policy")
+func printTable5(w io.Writer, res *exp.ExperimentResult) {
+	rows := exp.Table5Rows(res)
+	fmt.Fprintf(w, "%-14s", "policy")
 	for _, t := range exp.ThreadCounts {
-		fmt.Printf("%8d", t)
+		fmt.Fprintf(w, "%8d", t)
 	}
-	fmt.Printf("%14s%14s\n", "wrong-path", "optimistic")
+	fmt.Fprintf(w, "%14s%14s\n", "wrong-path", "optimistic")
 	for _, r := range rows {
-		fmt.Printf("%-14s", r.Policy)
+		fmt.Fprintf(w, "%-14s", r.Policy)
 		for _, t := range exp.ThreadCounts {
-			fmt.Printf("%8.2f", r.IPC[t])
+			fmt.Fprintf(w, "%8.2f", r.IPC[t])
 		}
-		fmt.Printf("%13.1f%%%13.1f%%\n", r.WrongPath*100, r.Optimistic*100)
+		fmt.Fprintf(w, "%13.1f%%%13.1f%%\n", r.WrongPath*100, r.Optimistic*100)
 	}
 }
 
-func runSec7(o exp.Opts) {
-	results := exp.Sec7(o)
-	fmt.Printf("%-40s %8s %10s %10s %8s\n", "experiment", "threads", "baseline", "modified", "delta")
+func printSec7(w io.Writer, res *exp.ExperimentResult) {
+	results := exp.Sec7Results(res)
+	fmt.Fprintf(w, "%-40s %8s %10s %10s %8s\n", "experiment", "threads", "baseline", "modified", "delta")
 	for _, r := range results {
-		fmt.Printf("%-40s %8d %10.2f %10.2f %+7.1f%%\n", r.Name, r.Threads, r.Baseline, r.Modified, r.Delta()*100)
+		fmt.Fprintf(w, "%-40s %8d %10.2f %10.2f %+7.1f%%\n", r.Name, r.Threads, r.Baseline, r.Modified, r.Delta()*100)
 	}
 }
 
-func runFig7(o exp.Opts) {
-	pts := exp.Fig7(o)
-	fmt.Printf("%-12s %s\n", "contexts", "IPC (200 physical registers)")
+func printFig7(w io.Writer, res *exp.ExperimentResult) {
+	var pts []exp.Point
+	if len(res.Series) > 0 {
+		pts = res.Series[0].Points
+	}
+	fmt.Fprintf(w, "%-12s %s\n", "contexts", "IPC (200 physical registers)")
 	for _, p := range pts {
-		fmt.Printf("%-12d %.2f\n", p.Threads, p.IPC)
+		fmt.Fprintf(w, "%-12d %.2f\n", p.Threads, p.IPC)
 	}
 }

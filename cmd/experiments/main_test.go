@@ -1,0 +1,189 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/exp"
+)
+
+// tiny are budgets small enough for end-to-end CLI tests.
+var tiny = []string{"-runs", "1", "-warmup", "500", "-measure", "1000"}
+
+func runCLI(t *testing.T, args ...string) (stdout, stderr string, code int) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return out.String(), errb.String(), code
+}
+
+func TestListPrintsRegistry(t *testing.T) {
+	out, _, code := runCLI(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, name := range exp.Names() {
+		if !strings.Contains(out, name) {
+			t.Errorf("-list output missing %s:\n%s", name, out)
+		}
+	}
+}
+
+func TestUnknownExperimentFails(t *testing.T) {
+	_, errOut, code := runCLI(t, "-experiment", "nope")
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errOut, "unknown experiment") {
+		t.Fatalf("stderr: %q", errOut)
+	}
+}
+
+func TestBadFlagFails(t *testing.T) {
+	_, _, code := runCLI(t, "-no-such-flag")
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
+func TestHelpExitsZero(t *testing.T) {
+	_, errOut, code := runCLI(t, "-h")
+	if code != 0 {
+		t.Fatalf("-h exited %d, want 0", code)
+	}
+	if !strings.Contains(errOut, "-experiment") {
+		t.Fatalf("usage missing flags: %q", errOut)
+	}
+}
+
+func TestEndToEndTextRun(t *testing.T) {
+	out, errOut, code := runCLI(t, append([]string{"-experiment", "fig7"}, tiny...)...)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errOut)
+	}
+	if !strings.Contains(out, "==== fig7") || !strings.Contains(out, "contexts") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+}
+
+func TestRunAliasStillWorks(t *testing.T) {
+	out, _, code := runCLI(t, append([]string{"-run", "fig7"}, tiny...)...)
+	if code != 0 || !strings.Contains(out, "==== fig7") {
+		t.Fatalf("exit %d output:\n%s", code, out)
+	}
+}
+
+func TestTrailingCommaTolerated(t *testing.T) {
+	out, errOut, code := runCLI(t, append([]string{"-experiment", "fig7,"}, tiny...)...)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errOut)
+	}
+	if !strings.Contains(out, "==== fig7") {
+		t.Fatalf("fig7 did not run:\n%s", out)
+	}
+}
+
+func TestEmptySelectionFails(t *testing.T) {
+	for _, flagName := range []string{"-experiment", "-run"} {
+		_, errOut, code := runCLI(t, flagName, "")
+		if code != 2 {
+			t.Fatalf("%s '': exit %d, want 2", flagName, code)
+		}
+		if !strings.Contains(errOut, "no experiment selected") {
+			t.Fatalf("%s '': stderr %q", flagName, errOut)
+		}
+	}
+}
+
+func TestExperimentAndRunConflict(t *testing.T) {
+	_, errOut, code := runCLI(t, "-experiment", "fig7", "-run", "fig3")
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errOut, "pass only one") {
+		t.Fatalf("stderr: %q", errOut)
+	}
+}
+
+func TestTypoAlongsideAllFails(t *testing.T) {
+	_, errOut, code := runCLI(t, "-experiment", "all,fgi3")
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errOut, `"fgi3"`) {
+		t.Fatalf("stderr: %q", errOut)
+	}
+}
+
+func TestJSONOutputParsesAndIsParallelInvariant(t *testing.T) {
+	base := append([]string{"-experiment", "fig7", "-json"}, tiny...)
+	serial, _, code := runCLI(t, append(base, "-parallel", "1")...)
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	parallel, _, code := runCLI(t, append(base, "-parallel", "4")...)
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if serial != parallel {
+		t.Fatalf("-parallel changed the JSON:\n%s\nvs\n%s", serial, parallel)
+	}
+	var results []exp.ExperimentResult
+	if err := json.Unmarshal([]byte(serial), &results); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(results) != 1 {
+		t.Fatalf("want 1 result, got %d", len(results))
+	}
+	res := results[0]
+	if res.SchemaVersion != exp.SchemaVersion || res.Experiment != "fig7" {
+		t.Fatalf("decoded result wrong: %+v", res)
+	}
+	if len(res.Series) != 1 || len(res.Series[0].Points) != 5 {
+		t.Fatalf("unexpected shape: %+v", res.Series)
+	}
+}
+
+// TestJSONMultipleExperimentsIsOneDocument guards against emitting
+// concatenated JSON objects: selecting several experiments must still
+// produce a single parseable document.
+func TestJSONMultipleExperimentsIsOneDocument(t *testing.T) {
+	out, _, code := runCLI(t, append([]string{"-experiment", "fig7,table4", "-json"}, tiny...)...)
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	var results []exp.ExperimentResult
+	if err := json.Unmarshal([]byte(out), &results); err != nil {
+		t.Fatalf("multi-experiment output is not one JSON document: %v", err)
+	}
+	// Output follows registry order (table4 registers before fig7), not
+	// the order names were passed — same contract as text mode and "all".
+	if len(results) != 2 || results[0].Experiment != "table4" || results[1].Experiment != "fig7" {
+		t.Fatalf("unexpected order: %s, %s", results[0].Experiment, results[1].Experiment)
+	}
+}
+
+// TestTypoAmongValidNamesFails: one misspelled name must fail the whole
+// invocation up front, not silently run the valid subset.
+func TestTypoAmongValidNamesFails(t *testing.T) {
+	out, errOut, code := runCLI(t, append([]string{"-experiment", "fig7,fgi3"}, tiny...)...)
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errOut, `"fgi3"`) {
+		t.Fatalf("stderr does not name the typo: %q", errOut)
+	}
+	if strings.Contains(out, "==== fig7") {
+		t.Fatalf("ran the valid subset despite the typo:\n%s", out)
+	}
+}
+
+func TestEveryExperimentHasAPrinter(t *testing.T) {
+	for _, e := range exp.Experiments() {
+		if printers[e.Name] == nil {
+			t.Errorf("registry entry %s has no printer", e.Name)
+		}
+	}
+}

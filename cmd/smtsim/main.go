@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -19,25 +20,41 @@ import (
 )
 
 func main() {
-	var (
-		threads     = flag.Int("threads", 8, "hardware contexts (1-8)")
-		fetchAlg    = flag.String("fetch", "RR", "fetch policy: RR, BRCOUNT, MISSCOUNT, ICOUNT, IQPOSN")
-		nFetch      = flag.Int("nfetch", 1, "threads fetched per cycle (num1)")
-		wFetch      = flag.Int("wfetch", 8, "max instructions per thread per cycle (num2)")
-		issueAlg    = flag.String("issue", "OLDEST_FIRST", "issue policy: OLDEST_FIRST, OPT_LAST, SPEC_LAST, BRANCH_FIRST")
-		bigq        = flag.Bool("bigq", false, "double-size buffered instruction queues")
-		itag        = flag.Bool("itag", false, "early I-cache tag lookup")
-		superscalar = flag.Bool("superscalar", false, "unmodified superscalar baseline (forces 1 thread)")
-		perfectBP   = flag.Bool("perfectbp", false, "perfect branch prediction")
-		excess      = flag.Int("excess", 100, "renaming registers beyond threads*32, per file")
-		warmup      = flag.Int64("warmup", 30000, "warmup instructions per thread")
-		measure     = flag.Int64("measure", 100000, "measured instructions per thread")
-		seed        = flag.Uint64("seed", 1, "workload seed")
-		rotate      = flag.Int("rotate", 0, "benchmark rotation (which mix of the 8 benchmarks)")
-		bench       = flag.String("bench", "", "comma-separated benchmark names (overrides -rotate)")
-	)
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
+// run is main with its dependencies injected, so tests can drive the CLI.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("smtsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		threads     = fs.Int("threads", 8, "hardware contexts (1-8)")
+		fetchAlg    = fs.String("fetch", "RR", "fetch policy: RR, BRCOUNT, MISSCOUNT, ICOUNT, IQPOSN")
+		nFetch      = fs.Int("nfetch", 1, "threads fetched per cycle (num1)")
+		wFetch      = fs.Int("wfetch", 8, "max instructions per thread per cycle (num2)")
+		issueAlg    = fs.String("issue", "OLDEST_FIRST", "issue policy: OLDEST_FIRST, OPT_LAST, SPEC_LAST, BRANCH_FIRST")
+		bigq        = fs.Bool("bigq", false, "double-size buffered instruction queues")
+		itag        = fs.Bool("itag", false, "early I-cache tag lookup")
+		superscalar = fs.Bool("superscalar", false, "unmodified superscalar baseline (forces 1 thread)")
+		perfectBP   = fs.Bool("perfectbp", false, "perfect branch prediction")
+		excess      = fs.Int("excess", 100, "renaming registers beyond threads*32, per file")
+		warmup      = fs.Int64("warmup", 30000, "warmup instructions per thread")
+		measure     = fs.Int64("measure", 100000, "measured instructions per thread")
+		seed        = fs.Uint64("seed", 1, "workload seed")
+		rotate      = fs.Int("rotate", 0, "benchmark rotation (which mix of the 8 benchmarks)")
+		bench       = fs.String("bench", "", "comma-separated benchmark names (overrides -rotate)")
+	)
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
+
+	fatal := func(err error) int {
+		fmt.Fprintln(stderr, "smtsim:", err)
+		return 1
+	}
 	var cfg smt.Config
 	if *superscalar {
 		cfg = smt.Superscalar()
@@ -46,12 +63,12 @@ func main() {
 	}
 	fa, err := policy.ParseFetchAlg(*fetchAlg)
 	if err != nil {
-		fatal(err)
+		return fatal(err)
 	}
 	cfg.FetchPolicy = fa
 	ia, err := policy.ParseIssueAlg(*issueAlg)
 	if err != nil {
-		fatal(err)
+		return fatal(err)
 	}
 	cfg.IssuePolicy = ia
 	cfg.FetchThreads = min(*nFetch, cfg.Threads)
@@ -67,43 +84,32 @@ func main() {
 	}
 	sim, err := smt.New(cfg, spec)
 	if err != nil {
-		fatal(err)
+		return fatal(err)
 	}
 
-	fmt.Printf("machine: %s  threads=%d  issue=%s  workload=%v\n",
+	fmt.Fprintf(stdout, "machine: %s  threads=%d  issue=%s  workload=%v\n",
 		cfg.FetchName(), cfg.Threads, cfg.IssuePolicy, spec.Names)
 	sim.Warmup(*warmup * int64(cfg.Threads))
 	res := sim.Run(*measure * int64(cfg.Threads))
 
-	fmt.Printf("\ncycles:             %d\n", res.Cycles)
-	fmt.Printf("committed:          %d\n", res.Committed)
-	fmt.Printf("throughput:         %.2f IPC\n", res.IPC)
-	fmt.Printf("per-thread commits: %v\n", res.CommittedByThread)
-	fmt.Printf("\nbranch mispredict:  %.1f%%\n", res.BranchMispredict*100)
-	fmt.Printf("jump mispredict:    %.1f%%\n", res.JumpMispredict*100)
-	fmt.Printf("wrong-path fetched: %.1f%%\n", res.WrongPathFetched*100)
-	fmt.Printf("wrong-path issued:  %.1f%%\n", res.WrongPathIssued*100)
-	fmt.Printf("optimistic squash:  %.1f%%\n", res.OptimisticSquash*100)
-	fmt.Printf("\nint IQ-full:        %.1f%% of cycles\n", res.IntIQFull*100)
-	fmt.Printf("fp IQ-full:         %.1f%% of cycles\n", res.FPIQFull*100)
-	fmt.Printf("out-of-registers:   %.1f%% of cycles\n", res.OutOfRegisters*100)
-	fmt.Printf("avg queue pop:      %.1f\n", res.AvgQueuePop)
-	fmt.Println()
+	fmt.Fprintf(stdout, "\ncycles:             %d\n", res.Cycles)
+	fmt.Fprintf(stdout, "committed:          %d\n", res.Committed)
+	fmt.Fprintf(stdout, "throughput:         %.2f IPC\n", res.IPC)
+	fmt.Fprintf(stdout, "per-thread commits: %v\n", res.CommittedByThread)
+	fmt.Fprintf(stdout, "\nbranch mispredict:  %.1f%%\n", res.BranchMispredict*100)
+	fmt.Fprintf(stdout, "jump mispredict:    %.1f%%\n", res.JumpMispredict*100)
+	fmt.Fprintf(stdout, "wrong-path fetched: %.1f%%\n", res.WrongPathFetched*100)
+	fmt.Fprintf(stdout, "wrong-path issued:  %.1f%%\n", res.WrongPathIssued*100)
+	fmt.Fprintf(stdout, "optimistic squash:  %.1f%%\n", res.OptimisticSquash*100)
+	fmt.Fprintf(stdout, "\nint IQ-full:        %.1f%% of cycles\n", res.IntIQFull*100)
+	fmt.Fprintf(stdout, "fp IQ-full:         %.1f%% of cycles\n", res.FPIQFull*100)
+	fmt.Fprintf(stdout, "out-of-registers:   %.1f%% of cycles\n", res.OutOfRegisters*100)
+	fmt.Fprintf(stdout, "avg queue pop:      %.1f\n", res.AvgQueuePop)
+	fmt.Fprintln(stdout)
 	for i, name := range smt.CacheNames {
 		c := res.Caches[i]
-		fmt.Printf("%-7s miss rate:  %5.1f%%   (%.0f misses per 1000 instructions)\n",
+		fmt.Fprintf(stdout, "%-7s miss rate:  %5.1f%%   (%.0f misses per 1000 instructions)\n",
 			name, c.MissRate*100, c.PerK)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "smtsim:", err)
-	os.Exit(1)
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
+	return 0
 }

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (stdout, stderr string, code int) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return out.String(), errb.String(), code
+}
+
+func TestEndToEndTinyRun(t *testing.T) {
+	out, errOut, code := runCLI(t,
+		"-threads", "2", "-fetch", "ICOUNT", "-nfetch", "2",
+		"-warmup", "500", "-measure", "1000")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errOut)
+	}
+	for _, want := range []string{"machine: ICOUNT.2.8", "throughput:", "ICache", "per-thread commits"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSuperscalarForcesOneThread(t *testing.T) {
+	out, _, code := runCLI(t, "-superscalar", "-warmup", "500", "-measure", "1000")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "threads=1") {
+		t.Fatalf("superscalar did not force one thread:\n%s", out)
+	}
+}
+
+func TestBadFetchPolicyFails(t *testing.T) {
+	_, errOut, code := runCLI(t, "-fetch", "NOPE")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errOut, "smtsim:") {
+		t.Fatalf("stderr: %q", errOut)
+	}
+}
+
+func TestBadIssuePolicyFails(t *testing.T) {
+	if _, _, code := runCLI(t, "-issue", "NOPE"); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+}
+
+func TestBadFlagFails(t *testing.T) {
+	if _, _, code := runCLI(t, "-no-such-flag"); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
+func TestHelpExitsZero(t *testing.T) {
+	if _, _, code := runCLI(t, "-h"); code != 0 {
+		t.Fatalf("-h exited %d, want 0", code)
+	}
+}
+
+func TestBadBenchNameFails(t *testing.T) {
+	_, errOut, code := runCLI(t, "-threads", "1", "-bench", "not-a-benchmark")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (stderr %q)", code, errOut)
+	}
+}

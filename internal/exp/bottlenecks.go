@@ -65,23 +65,33 @@ func Sec7Names() []string {
 	return names
 }
 
+// sec7BaselineSeries names the ICOUNT.2.8 baseline series inside the sec7
+// experiment grid; every other series is one bottleneck study.
+const sec7BaselineSeries = "baseline ICOUNT.2.8"
+
 // Sec7 runs the Section 7 bottleneck studies against the ICOUNT.2.8
-// baseline. baselines are measured once per thread count.
+// baseline. Baselines are measured once per thread count as part of the
+// same grid, so the whole study parallelizes as one job set.
 func Sec7(o Opts) []Sec7Result {
+	return Sec7Results(mustRun("sec7", o))
+}
+
+// Sec7Results extracts the bottleneck deltas from an engine result.
+func Sec7Results(r *ExperimentResult) []Sec7Result {
 	baseline := map[int]float64{}
-	for _, t := range []int{1, 4, 8} {
-		baseline[t] = Measure(ICount28(t), o).IPC
+	for _, p := range r.Lookup(sec7BaselineSeries) {
+		baseline[p.Threads] = p.IPC
 	}
 	var out []Sec7Result
-	for _, c := range sec7Cases() {
-		for _, t := range c.threads {
-			cfg := ICount28(t)
-			c.mod(&cfg)
-			p := Measure(cfg, o)
+	for _, s := range r.Series {
+		if s.Name == sec7BaselineSeries {
+			continue
+		}
+		for _, p := range s.Points {
 			out = append(out, Sec7Result{
-				Name:     c.name,
-				Threads:  t,
-				Baseline: baseline[t],
+				Name:     s.Name,
+				Threads:  p.Threads,
+				Baseline: baseline[p.Threads],
 				Modified: p.IPC,
 			})
 		}

@@ -17,10 +17,10 @@ import (
 
 // Opts scales an experiment.
 type Opts struct {
-	Runs    int   // benchmark rotations averaged per data point
-	Warmup  int64 // committed instructions before measurement, per run
-	Measure int64 // measured committed instructions per thread
-	Seed    uint64
+	Runs    int    `json:"runs"`    // benchmark rotations averaged per data point
+	Warmup  int64  `json:"warmup"`  // committed instructions before measurement, per run
+	Measure int64  `json:"measure"` // measured committed instructions per thread
+	Seed    uint64 `json:"seed"`
 }
 
 // DefaultOpts returns budgets sized for interactive use (a few seconds per
@@ -42,10 +42,10 @@ func (o Opts) normalized() Opts {
 
 // Point is one measured machine configuration.
 type Point struct {
-	Label   string
-	Threads int
-	IPC     float64
-	Results smt.Results // averaged counters from the final rotation runs
+	Label   string      `json:"label"`
+	Threads int         `json:"threads"`
+	IPC     float64     `json:"ipc"`
+	Results smt.Results `json:"results"` // counters from the final rotation run
 }
 
 // Measure runs cfg under the standard methodology and returns the averaged
@@ -55,12 +55,7 @@ func Measure(cfg smt.Config, o Opts) Point {
 	var ipcSum float64
 	var last smt.Results
 	for run := 0; run < o.Runs; run++ {
-		spec := smt.WorkloadMix(cfg.Threads, run, o.Seed+uint64(run))
-		sim := smt.MustNew(cfg, spec)
-		if o.Warmup > 0 {
-			sim.Warmup(o.Warmup * int64(cfg.Threads))
-		}
-		res := sim.Run(o.Measure * int64(cfg.Threads))
+		res := runOne(cfg, run, JobSeed(o.Seed, run), o)
 		ipcSum += res.IPC
 		last = res
 	}
@@ -70,18 +65,6 @@ func Measure(cfg smt.Config, o Opts) Point {
 		IPC:     ipcSum / float64(o.Runs),
 		Results: last,
 	}
-}
-
-// Series measures one configuration shape across thread counts.
-func Series(label string, threads []int, mk func(threads int) smt.Config, o Opts) []Point {
-	pts := make([]Point, 0, len(threads))
-	for _, t := range threads {
-		cfg := mk(t)
-		p := Measure(cfg, o)
-		p.Label = label
-		pts = append(pts, p)
-	}
-	return pts
 }
 
 // FetchSchemeConfig builds the paper's alg.num1.num2 fetch configurations.

@@ -48,15 +48,15 @@ func TestMeasureDeterministic(t *testing.T) {
 	}
 }
 
-func TestSeriesShape(t *testing.T) {
-	pts := Series("x", []int{1, 2}, func(threads int) smt.Config {
+func TestSeriesOfShape(t *testing.T) {
+	pts := seriesOf("x", []int{1, 2}, func(threads int) smt.Config {
 		return MustFetchScheme(threads, "RR", 1, 8)
-	}, quickOpts())
+	})
 	if len(pts) != 2 || pts[0].Threads != 1 || pts[1].Threads != 2 {
 		t.Fatalf("series shape wrong: %+v", pts)
 	}
-	if pts[0].Label != "x" {
-		t.Fatalf("label %q", pts[0].Label)
+	if pts[0].Series != "x" || pts[0].Label != "x" {
+		t.Fatalf("series/label %q/%q", pts[0].Series, pts[0].Label)
 	}
 }
 

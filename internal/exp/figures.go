@@ -5,14 +5,194 @@ import "repro/smt"
 // ThreadCounts is the paper's standard sweep for figures.
 var ThreadCounts = []int{1, 2, 4, 6, 8}
 
+// seriesOf builds one series of PointSpecs across thread counts.
+func seriesOf(name string, threads []int, mk func(t int) smt.Config) []PointSpec {
+	pts := make([]PointSpec, 0, len(threads))
+	for _, t := range threads {
+		pts = append(pts, PointSpec{Series: name, Label: name, Threads: t, Config: mk(t)})
+	}
+	return pts
+}
+
+func init() {
+	Register(Experiment{
+		Name:  "fig3",
+		Title: "Figure 3: base RR.1.8 throughput vs. threads",
+		Shape: Shape{Series: 2, Points: 9},
+		Points: func() []PointSpec {
+			pts := seriesOf("RR.1.8", []int{1, 2, 3, 4, 5, 6, 7, 8}, func(t int) smt.Config {
+				return MustFetchScheme(t, "RR", 1, 8)
+			})
+			return append(pts, PointSpec{
+				Series: "superscalar", Label: "superscalar", Threads: 1, Config: smt.Superscalar(),
+			})
+		},
+	})
+	Register(Experiment{
+		Name:  "table3",
+		Title: "Table 3: low-level metrics at 1, 4, 8 threads (RR.1.8)",
+		Shape: Shape{Series: 1, Points: 3},
+		Points: func() []PointSpec {
+			return seriesOf("RR.1.8", []int{1, 4, 8}, func(t int) smt.Config {
+				return MustFetchScheme(t, "RR", 1, 8)
+			})
+		},
+	})
+	Register(Experiment{
+		Name:  "fig4",
+		Title: "Figure 4: fetch partitioning schemes",
+		Shape: Shape{Series: 4, Points: 20},
+		Points: func() []PointSpec {
+			var pts []PointSpec
+			for _, s := range []struct {
+				name       string
+				num1, num2 int
+			}{
+				{"RR.1.8", 1, 8}, {"RR.2.4", 2, 4}, {"RR.4.2", 4, 2}, {"RR.2.8", 2, 8},
+			} {
+				s := s
+				pts = append(pts, seriesOf(s.name, ThreadCounts, func(t int) smt.Config {
+					return MustFetchScheme(t, "RR", s.num1, s.num2)
+				})...)
+			}
+			return pts
+		},
+	})
+	Register(Experiment{
+		Name:  "fig5",
+		Title: "Figure 5: fetch-choice policies",
+		Shape: Shape{Series: 10, Points: 40},
+		Points: func() []PointSpec {
+			var pts []PointSpec
+			for _, alg := range Fig5Algs {
+				for _, scheme := range []struct{ num1, num2 int }{{1, 8}, {2, 8}} {
+					alg, scheme := alg, scheme
+					name := alg + fmtScheme(scheme.num1, scheme.num2)
+					pts = append(pts, seriesOf(name, []int{2, 4, 6, 8}, func(t int) smt.Config {
+						return MustFetchScheme(t, alg, scheme.num1, scheme.num2)
+					})...)
+				}
+			}
+			return pts
+		},
+	})
+	Register(Experiment{
+		Name:  "table4",
+		Title: "Table 4: RR vs ICOUNT low-level metrics",
+		Shape: Shape{Series: 3, Points: 3},
+		Points: func() []PointSpec {
+			return []PointSpec{
+				{Series: "1 thread", Label: "RR.1.8", Threads: 1, Config: MustFetchScheme(1, "RR", 1, 8)},
+				{Series: "RR.2.8", Label: "RR.2.8", Threads: 8, Config: MustFetchScheme(8, "RR", 2, 8)},
+				{Series: "ICOUNT.2.8", Label: "ICOUNT.2.8", Threads: 8, Config: MustFetchScheme(8, "ICOUNT", 2, 8)},
+			}
+		},
+	})
+	Register(Experiment{
+		Name:  "fig6",
+		Title: "Figure 6: BIGQ and ITAG on top of ICOUNT",
+		Shape: Shape{Series: 6, Points: 30},
+		Points: func() []PointSpec {
+			variants := []struct {
+				name string
+				mod  func(*smt.Config)
+			}{
+				{"", func(*smt.Config) {}},
+				{"BIGQ,", func(c *smt.Config) { c.BigQ = true }},
+				{"ITAG,", func(c *smt.Config) { c.ITAG = true }},
+			}
+			var pts []PointSpec
+			for _, v := range variants {
+				for _, scheme := range []struct{ num1, num2 int }{{1, 8}, {2, 8}} {
+					v, scheme := v, scheme
+					name := v.name + "ICOUNT" + fmtScheme(scheme.num1, scheme.num2)
+					pts = append(pts, seriesOf(name, ThreadCounts, func(t int) smt.Config {
+						cfg := MustFetchScheme(t, "ICOUNT", scheme.num1, scheme.num2)
+						v.mod(&cfg)
+						return cfg
+					})...)
+				}
+			}
+			return pts
+		},
+	})
+	Register(Experiment{
+		Name:  "table5",
+		Title: "Table 5: issue policies",
+		Shape: Shape{Series: 4, Points: 20},
+		Points: func() []PointSpec {
+			var pts []PointSpec
+			for _, pol := range issuePolicies() {
+				pol := pol
+				pts = append(pts, seriesOf(pol.name, ThreadCounts, func(t int) smt.Config {
+					cfg := ICount28(t)
+					pol.alg(&cfg)
+					return cfg
+				})...)
+			}
+			return pts
+		},
+	})
+	Register(Experiment{
+		Name:  "sec7",
+		Title: "Section 7: bottleneck studies around ICOUNT.2.8",
+		Shape: Shape{Series: 14, Points: 20},
+		Points: func() []PointSpec {
+			pts := seriesOf(sec7BaselineSeries, []int{1, 4, 8}, ICount28)
+			for _, c := range sec7Cases() {
+				c := c
+				pts = append(pts, seriesOf(c.name, c.threads, func(t int) smt.Config {
+					cfg := ICount28(t)
+					c.mod(&cfg)
+					return cfg
+				})...)
+			}
+			return pts
+		},
+	})
+	Register(Experiment{
+		Name:  "fig7",
+		Title: "Figure 7: 200 physical registers, 1-5 contexts",
+		Shape: Shape{Series: 1, Points: 5},
+		Points: func() []PointSpec {
+			return seriesOf("200 regs", []int{1, 2, 3, 4, 5}, func(t int) smt.Config {
+				cfg := ICount28(t)
+				cfg.Rename.ExcessRegs = 0
+				cfg.Rename.TotalRegs = 200
+				return cfg
+			})
+		},
+	})
+}
+
+// issuePolicies lists Table 5's issue policies in paper order.
+func issuePolicies() []struct {
+	name string
+	alg  func(*smt.Config)
+} {
+	return []struct {
+		name string
+		alg  func(*smt.Config)
+	}{
+		{"OLDEST", func(c *smt.Config) { c.IssuePolicy = smt.IssueOldestFirst }},
+		{"OPT_LAST", func(c *smt.Config) { c.IssuePolicy = smt.IssueOptLast }},
+		{"SPEC_LAST", func(c *smt.Config) { c.IssuePolicy = smt.IssueSpecLast }},
+		{"BRANCH_FIRST", func(c *smt.Config) { c.IssuePolicy = smt.IssueBranchFirst }},
+	}
+}
+
 // Fig3 reproduces Figure 3: instruction throughput of the base RR.1.8
 // hardware versus thread count, plus the unmodified superscalar point.
 func Fig3(o Opts) (base []Point, superscalar Point) {
-	base = Series("RR.1.8", []int{1, 2, 3, 4, 5, 6, 7, 8}, func(t int) smt.Config {
-		return MustFetchScheme(t, "RR", 1, 8)
-	}, o)
-	superscalar = Measure(smt.Superscalar(), o)
-	superscalar.Label = "superscalar"
+	return Fig3Result(mustRun("fig3", o))
+}
+
+// Fig3Result extracts Figure 3's legacy shape from an engine result.
+func Fig3Result(r *ExperimentResult) (base []Point, superscalar Point) {
+	base = r.Lookup("RR.1.8")
+	if ss := r.Lookup("superscalar"); len(ss) > 0 {
+		superscalar = ss[0]
+	}
 	return base, superscalar
 }
 
@@ -25,51 +205,29 @@ type Table3Row struct {
 
 // Table3 reproduces Table 3: low-level metrics at 1, 4, and 8 threads.
 func Table3(o Opts) []Table3Row {
-	rows := make([]Table3Row, 0, 3)
-	for _, t := range []int{1, 4, 8} {
-		p := Measure(MustFetchScheme(t, "RR", 1, 8), o)
-		rows = append(rows, Table3Row{Threads: t, Res: p.Results})
+	return Table3Rows(mustRun("table3", o))
+}
+
+// Table3Rows extracts Table 3's legacy shape from an engine result.
+func Table3Rows(r *ExperimentResult) []Table3Row {
+	pts := r.Lookup("RR.1.8")
+	rows := make([]Table3Row, 0, len(pts))
+	for _, p := range pts {
+		rows = append(rows, Table3Row{Threads: p.Threads, Res: p.Results})
 	}
 	return rows
 }
 
 // Fig4 reproduces Figure 4: fetch partitioning schemes RR.1.8, RR.2.4,
 // RR.4.2, RR.2.8 across thread counts.
-func Fig4(o Opts) map[string][]Point {
-	schemes := []struct {
-		name       string
-		num1, num2 int
-	}{
-		{"RR.1.8", 1, 8}, {"RR.2.4", 2, 4}, {"RR.4.2", 4, 2}, {"RR.2.8", 2, 8},
-	}
-	out := make(map[string][]Point, len(schemes))
-	for _, s := range schemes {
-		s := s
-		out[s.name] = Series(s.name, ThreadCounts, func(t int) smt.Config {
-			return MustFetchScheme(t, "RR", s.num1, s.num2)
-		}, o)
-	}
-	return out
-}
+func Fig4(o Opts) map[string][]Point { return mustRun("fig4", o).SeriesMap() }
 
 // Fig5Algs lists the fetch-choice policies of Figure 5.
 var Fig5Algs = []string{"RR", "BRCOUNT", "MISSCOUNT", "ICOUNT", "IQPOSN"}
 
 // Fig5 reproduces Figure 5: fetch-choice heuristics under the 1.8 and 2.8
 // partitioning schemes.
-func Fig5(o Opts) map[string][]Point {
-	out := make(map[string][]Point)
-	for _, alg := range Fig5Algs {
-		for _, scheme := range []struct{ num1, num2 int }{{1, 8}, {2, 8}} {
-			alg, scheme := alg, scheme
-			name := alg + fmtScheme(scheme.num1, scheme.num2)
-			out[name] = Series(name, []int{2, 4, 6, 8}, func(t int) smt.Config {
-				return MustFetchScheme(t, alg, scheme.num1, scheme.num2)
-			}, o)
-		}
-	}
-	return out
-}
+func Fig5(o Opts) map[string][]Point { return mustRun("fig5", o).SeriesMap() }
 
 func fmtScheme(n1, n2 int) string {
 	return "." + string(rune('0'+n1)) + "." + string(rune('0'+n2))
@@ -78,37 +236,23 @@ func fmtScheme(n1, n2 int) string {
 // Table4 reproduces Table 4: low-level metrics for RR.2.8 and ICOUNT.2.8 at
 // 8 threads, next to the 1-thread baseline.
 func Table4(o Opts) (one, rr, icount smt.Results) {
-	one = Measure(MustFetchScheme(1, "RR", 1, 8), o).Results
-	rr = Measure(MustFetchScheme(8, "RR", 2, 8), o).Results
-	icount = Measure(MustFetchScheme(8, "ICOUNT", 2, 8), o).Results
-	return one, rr, icount
+	return Table4Results(mustRun("table4", o))
+}
+
+// Table4Results extracts Table 4's legacy shape from an engine result.
+func Table4Results(r *ExperimentResult) (one, rr, icount smt.Results) {
+	pick := func(series string) smt.Results {
+		if pts := r.Lookup(series); len(pts) > 0 {
+			return pts[0].Results
+		}
+		return smt.Results{}
+	}
+	return pick("1 thread"), pick("RR.2.8"), pick("ICOUNT.2.8")
 }
 
 // Fig6 reproduces Figure 6: the BIGQ and ITAG variants on top of
 // ICOUNT.1.8 and ICOUNT.2.8.
-func Fig6(o Opts) map[string][]Point {
-	variants := []struct {
-		name string
-		mod  func(*smt.Config)
-	}{
-		{"", func(*smt.Config) {}},
-		{"BIGQ,", func(c *smt.Config) { c.BigQ = true }},
-		{"ITAG,", func(c *smt.Config) { c.ITAG = true }},
-	}
-	out := make(map[string][]Point)
-	for _, v := range variants {
-		for _, scheme := range []struct{ num1, num2 int }{{1, 8}, {2, 8}} {
-			v, scheme := v, scheme
-			name := v.name + "ICOUNT" + fmtScheme(scheme.num1, scheme.num2)
-			out[name] = Series(name, ThreadCounts, func(t int) smt.Config {
-				cfg := MustFetchScheme(t, "ICOUNT", scheme.num1, scheme.num2)
-				v.mod(&cfg)
-				return cfg
-			}, o)
-		}
-	}
-	return out
-}
+func Fig6(o Opts) map[string][]Point { return mustRun("fig6", o).SeriesMap() }
 
 // Table5Row is one issue policy's results across thread counts.
 type Table5Row struct {
@@ -120,24 +264,17 @@ type Table5Row struct {
 
 // Table5 reproduces Table 5: issue policies under ICOUNT.2.8.
 func Table5(o Opts) []Table5Row {
-	policies := []struct {
-		name string
-		alg  func(*smt.Config)
-	}{
-		{"OLDEST", func(c *smt.Config) { c.IssuePolicy = smt.IssueOldestFirst }},
-		{"OPT_LAST", func(c *smt.Config) { c.IssuePolicy = smt.IssueOptLast }},
-		{"SPEC_LAST", func(c *smt.Config) { c.IssuePolicy = smt.IssueSpecLast }},
-		{"BRANCH_FIRST", func(c *smt.Config) { c.IssuePolicy = smt.IssueBranchFirst }},
-	}
-	rows := make([]Table5Row, 0, len(policies))
-	for _, pol := range policies {
-		row := Table5Row{Policy: pol.name, IPC: map[int]float64{}}
-		for _, t := range ThreadCounts {
-			cfg := ICount28(t)
-			pol.alg(&cfg)
-			p := Measure(cfg, o)
-			row.IPC[t] = p.IPC
-			if t == 8 {
+	return Table5Rows(mustRun("table5", o))
+}
+
+// Table5Rows extracts Table 5's legacy shape from an engine result.
+func Table5Rows(r *ExperimentResult) []Table5Row {
+	rows := make([]Table5Row, 0, len(r.Series))
+	for _, s := range r.Series {
+		row := Table5Row{Policy: s.Name, IPC: map[int]float64{}}
+		for _, p := range s.Points {
+			row.IPC[p.Threads] = p.IPC
+			if p.Threads == 8 {
 				row.WrongPath = p.Results.WrongPathIssued
 				row.Optimistic = p.Results.OptimisticSquash
 			}
@@ -150,10 +287,5 @@ func Table5(o Opts) []Table5Row {
 // Fig7 reproduces Figure 7: throughput with a fixed 200-register budget per
 // file as hardware contexts vary from 1 to 5.
 func Fig7(o Opts) []Point {
-	return Series("200 regs", []int{1, 2, 3, 4, 5}, func(t int) smt.Config {
-		cfg := ICount28(t)
-		cfg.Rename.ExcessRegs = 0
-		cfg.Rename.TotalRegs = 200
-		return cfg
-	}, o)
+	return mustRun("fig7", o).Lookup("200 regs")
 }

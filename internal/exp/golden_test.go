@@ -1,0 +1,70 @@
+package exp
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files under testdata/")
+
+// goldenOpts are the committed-budget opts behind every golden file. They
+// are deliberately tiny: golden files freeze the simulator's exact output,
+// so regenerating them must take well under a second per experiment.
+func goldenOpts() Opts {
+	return Opts{Runs: 2, Warmup: 1_000, Measure: 2_000, Seed: 1}
+}
+
+// goldenExperiments lists the registry entries with committed golden files.
+// Small grids only — the point is regression coverage of the engine and the
+// simulator, not a full paper reproduction in testdata.
+var goldenExperiments = []string{"fig7", "table4", "table3"}
+
+// TestGoldenFiles runs each golden experiment through the parallel engine
+// and compares the JSON byte-for-byte with the file under testdata/.
+// Refresh after an intentional simulator or schema change with:
+//
+//	go test ./internal/exp -run Golden -update
+func TestGoldenFiles(t *testing.T) {
+	for _, name := range goldenExperiments {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			res, err := Run(name, goldenOpts(), 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := res.EncodeJSON(&buf); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", name+".golden.json")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run with -update to create it)", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("%s drifted from golden file %s\n(if the change is intentional, rerun with -update)\ngot:\n%s",
+					name, path, buf.Bytes())
+			}
+		})
+	}
+}
+
+// TestGoldenSchemaVersion pins the schema constant; bumping it must be a
+// deliberate act that also regenerates every golden file.
+func TestGoldenSchemaVersion(t *testing.T) {
+	if SchemaVersion != 1 {
+		t.Fatalf("SchemaVersion is %d; regenerate golden files and update this test deliberately", SchemaVersion)
+	}
+}

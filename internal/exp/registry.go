@@ -1,0 +1,89 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/smt"
+)
+
+// PointSpec is one machine configuration the engine measures: a cell of an
+// experiment's grid before rotation fan-out. Series groups points into the
+// lines of a figure or the row groups of a table.
+type PointSpec struct {
+	Series  string
+	Label   string
+	Threads int
+	Config  smt.Config
+}
+
+// Shape declares how many series and total points an experiment's grid is
+// expected to produce; the registry test and the runner validate it so a
+// registry edit that silently drops a configuration fails loudly.
+type Shape struct {
+	Series int
+	Points int
+}
+
+// Experiment is one named entry of the registry: a paper table or figure,
+// its config generator, and the expected shape of its grid.
+type Experiment struct {
+	Name   string
+	Title  string
+	Points func() []PointSpec
+	Shape  Shape
+}
+
+// Grid materializes the experiment's point list and checks it against the
+// declared shape.
+func (e Experiment) Grid() ([]PointSpec, error) {
+	pts := e.Points()
+	series := map[string]bool{}
+	for _, p := range pts {
+		series[p.Series] = true
+	}
+	if len(series) != e.Shape.Series || len(pts) != e.Shape.Points {
+		return nil, fmt.Errorf("exp: %s grid is %d series / %d points, registry declares %d / %d",
+			e.Name, len(series), len(pts), e.Shape.Series, e.Shape.Points)
+	}
+	return pts, nil
+}
+
+// registry holds the experiments in registration order; order is part of the
+// engine's deterministic output contract.
+var (
+	registryOrder []string
+	registryByKey = map[string]Experiment{}
+)
+
+// Register adds an experiment to the registry. It panics on duplicate or
+// empty names; registration happens from package init only.
+func Register(e Experiment) {
+	if e.Name == "" || e.Points == nil {
+		panic("exp: Register needs a name and a Points generator")
+	}
+	if _, dup := registryByKey[e.Name]; dup {
+		panic("exp: duplicate experiment " + e.Name)
+	}
+	registryByKey[e.Name] = e
+	registryOrder = append(registryOrder, e.Name)
+}
+
+// Lookup returns the named experiment.
+func Lookup(name string) (Experiment, bool) {
+	e, ok := registryByKey[name]
+	return e, ok
+}
+
+// Experiments returns all registered experiments in registration order.
+func Experiments() []Experiment {
+	out := make([]Experiment, 0, len(registryOrder))
+	for _, name := range registryOrder {
+		out = append(out, registryByKey[name])
+	}
+	return out
+}
+
+// Names returns the registered experiment names in registration order.
+func Names() []string {
+	return append([]string(nil), registryOrder...)
+}

@@ -1,0 +1,173 @@
+package exp
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/smt"
+)
+
+// Job is one simulation of an experiment grid: point Point of the grid run
+// at benchmark rotation Run. Jobs are independent, so the runner may execute
+// them in any order on any worker; JobSeed ties the workload stream to the
+// job's rotation rather than its schedule, which is what makes parallel
+// output bit-identical to serial output.
+type Job struct {
+	Experiment string
+	Point      int
+	Run        int
+	Spec       PointSpec
+}
+
+// JobSeed derives the deterministic workload seed for a job. It depends
+// only on the base seed and the rotation index — deliberately NOT on the
+// experiment name or point index — so every configuration in a grid runs
+// the exact same workload streams per rotation (the paper's paired
+// methodology: IPC deltas between points isolate the machine change, not
+// the workload draw) and so engine numbers match Measure for the same
+// config. Schedule independence alone is what parallel determinism needs.
+func JobSeed(base uint64, run int) uint64 {
+	return base + uint64(run)
+}
+
+// runOne is the shared measurement kernel: build the machine, warm it, and
+// measure. Every path into the simulator (serial Measure, parallel runner)
+// funnels through here so budgets and methodology cannot drift apart.
+func runOne(cfg smt.Config, rotate int, seed uint64, o Opts) smt.Results {
+	spec := smt.WorkloadMix(cfg.Threads, rotate, seed)
+	sim := smt.MustNew(cfg, spec)
+	if o.Warmup > 0 {
+		sim.Warmup(o.Warmup * int64(cfg.Threads))
+	}
+	return sim.Run(o.Measure * int64(cfg.Threads))
+}
+
+// Runner executes experiment grids across a bounded worker pool.
+type Runner struct {
+	// Workers is the pool size; <=0 means runtime.GOMAXPROCS(0).
+	Workers int
+}
+
+func (r Runner) workers() int {
+	if r.Workers > 0 {
+		return r.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Jobs expands an experiment grid into its (point, rotation) job list in
+// deterministic order: all rotations of point 0, then point 1, and so on.
+func Jobs(e Experiment, o Opts) ([]Job, error) {
+	o = o.normalized()
+	grid, err := e.Grid()
+	if err != nil {
+		return nil, err
+	}
+	jobs := make([]Job, 0, len(grid)*o.Runs)
+	for i, spec := range grid {
+		for run := 0; run < o.Runs; run++ {
+			jobs = append(jobs, Job{Experiment: e.Name, Point: i, Run: run, Spec: spec})
+		}
+	}
+	return jobs, nil
+}
+
+// RunExperiment executes every job of the experiment across the worker pool
+// and aggregates rotations into points. Results are identical for any
+// worker count: each job's seed depends only on its identity, and
+// aggregation walks jobs in index order, so float summation order is fixed.
+func (r Runner) RunExperiment(e Experiment, o Opts) (*ExperimentResult, error) {
+	o = o.normalized()
+	jobs, err := Jobs(e, o)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]smt.Results, len(jobs))
+
+	workers := r.workers()
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				j := jobs[i]
+				results[i] = runOne(j.Spec.Config, j.Run, JobSeed(o.Seed, j.Run), o)
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	return aggregate(e, o, jobs, results)
+}
+
+// aggregate folds per-job results into per-point averages and groups points
+// into series in first-appearance order.
+func aggregate(e Experiment, o Opts, jobs []Job, results []smt.Results) (*ExperimentResult, error) {
+	out := &ExperimentResult{
+		SchemaVersion: SchemaVersion,
+		Experiment:    e.Name,
+		Title:         e.Title,
+		Opts:          o,
+	}
+	seriesIdx := map[string]int{}
+	var cur *Point
+	for i, j := range jobs {
+		if j.Run == 0 {
+			si, ok := seriesIdx[j.Spec.Series]
+			if !ok {
+				si = len(out.Series)
+				seriesIdx[j.Spec.Series] = si
+				out.Series = append(out.Series, SeriesResult{Name: j.Spec.Series})
+			}
+			out.Series[si].Points = append(out.Series[si].Points, Point{
+				Label:   j.Spec.Label,
+				Threads: j.Spec.Threads,
+			})
+			cur = &out.Series[si].Points[len(out.Series[si].Points)-1]
+		}
+		if cur == nil {
+			return nil, fmt.Errorf("exp: job %d of %s has no point", i, e.Name)
+		}
+		cur.IPC += results[i].IPC
+		cur.Results = results[i] // keep the last rotation, as Measure does
+		if j.Run == o.Runs-1 {
+			cur.IPC /= float64(o.Runs)
+		}
+	}
+	return out, nil
+}
+
+// Run executes the named registry experiment. It is the engine's main entry
+// point: cmd/experiments, the benchmarks, and the legacy figure helpers all
+// come through here.
+func Run(name string, o Opts, workers int) (*ExperimentResult, error) {
+	e, ok := Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("exp: unknown experiment %q (have %v)", name, Names())
+	}
+	return Runner{Workers: workers}.RunExperiment(e, o)
+}
+
+// mustRun runs a registry experiment whose grid is known statically valid;
+// the legacy figure helpers use it to keep their panic-free signatures.
+// Serial on purpose: the pre-engine helpers ran serially, and the
+// long-standing benchmarks wrapping them (bench_test.go) must keep timing
+// simulator work, not a host-dependent worker pool — output bytes are
+// identical either way.
+func mustRun(name string, o Opts) *ExperimentResult {
+	res, err := Run(name, o, 1)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}

@@ -1,0 +1,51 @@
+package exp
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestParallelSpeedup guards the engine's reason to exist: on a multi-core
+// machine the worker pool must actually run jobs concurrently. The fig4
+// grid is 20 points x 2 rotations = 40 independent simulations; with >= 4
+// cores even a conservative 1.25x bar catches a Runner that silently
+// serializes (determinism and golden tests cannot — output is identical
+// either way). Skipped on small machines where no speedup is possible.
+func TestParallelSpeedup(t *testing.T) {
+	if runtime.NumCPU() < 4 {
+		t.Skipf("need >= 4 CPUs for a meaningful speedup bound, have %d", runtime.NumCPU())
+	}
+	if testing.Short() {
+		t.Skip("timing test, skipped in -short mode")
+	}
+	e, _ := Lookup("fig4")
+	o := Opts{Runs: 2, Warmup: 2_000, Measure: 5_000, Seed: 1}
+
+	measure := func(workers int) time.Duration {
+		start := time.Now()
+		if _, err := (Runner{Workers: workers}).RunExperiment(e, o); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	measure(0) // warm caches and the scheduler before timing
+
+	// Best of three: shared CI runners are noisy, and one clean pass is
+	// enough to prove the pool is not serializing.
+	var best float64
+	for attempt := 0; attempt < 3; attempt++ {
+		serial := measure(1)
+		parallel := measure(0)
+		speedup := float64(serial) / float64(parallel)
+		t.Logf("attempt %d: serial %v, parallel %v, speedup %.2fx on %d CPUs",
+			attempt, serial, parallel, speedup, runtime.NumCPU())
+		if speedup > best {
+			best = speedup
+		}
+		if best >= 1.25 {
+			return
+		}
+	}
+	t.Errorf("parallel runner shows no speedup: best %.2fx over 3 attempts", best)
+}

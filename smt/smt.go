@@ -202,37 +202,41 @@ func (s *Simulator) Results() Results {
 	return res
 }
 
-// CacheResult summarizes one cache level.
+// CacheResult summarizes one cache level. The JSON tags are part of the
+// experiment engine's versioned result schema (exp.SchemaVersion); renaming
+// one is a schema change.
 type CacheResult struct {
-	Accesses int64
-	Misses   int64
-	MissRate float64
-	PerK     float64 // misses per thousand committed instructions
+	Accesses int64   `json:"accesses"`
+	Misses   int64   `json:"misses"`
+	MissRate float64 `json:"miss_rate"`
+	PerK     float64 `json:"per_k"` // misses per thousand committed instructions
 }
 
-// Results carries every metric the paper's tables report.
+// Results carries every metric the paper's tables report. As with
+// CacheResult, the JSON tags are part of the experiment engine's versioned
+// result schema.
 type Results struct {
-	Cycles            int64
-	Committed         int64
-	IPC               float64
-	CommittedByThread []int64
+	Cycles            int64   `json:"cycles"`
+	Committed         int64   `json:"committed"`
+	IPC               float64 `json:"ipc"`
+	CommittedByThread []int64 `json:"committed_by_thread"`
 
-	BranchMispredict float64
-	JumpMispredict   float64
-	WrongPathFetched float64
-	WrongPathIssued  float64
-	OptimisticSquash float64
-	UselessIssue     float64
+	BranchMispredict float64 `json:"branch_mispredict"`
+	JumpMispredict   float64 `json:"jump_mispredict"`
+	WrongPathFetched float64 `json:"wrong_path_fetched"`
+	WrongPathIssued  float64 `json:"wrong_path_issued"`
+	OptimisticSquash float64 `json:"optimistic_squash"`
+	UselessIssue     float64 `json:"useless_issue"`
 
-	IntIQFull      float64
-	FPIQFull       float64
-	OutOfRegisters float64
-	AvgQueuePop    float64
+	IntIQFull      float64 `json:"int_iq_full"`
+	FPIQFull       float64 `json:"fp_iq_full"`
+	OutOfRegisters float64 `json:"out_of_registers"`
+	AvgQueuePop    float64 `json:"avg_queue_pop"`
 
-	UsefulFetchPerCyc float64
+	UsefulFetchPerCyc float64 `json:"useful_fetch_per_cycle"`
 
 	// Caches indexes L1I, L1D, L2, L3 in order.
-	Caches [4]CacheResult
+	Caches [4]CacheResult `json:"caches"`
 }
 
 // CacheNames labels Results.Caches entries.
