@@ -18,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -27,7 +28,9 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/cache"
 	"repro/internal/exp"
+	"repro/smt"
 )
 
 func main() {
@@ -48,12 +51,31 @@ func run(args []string, stdout, stderr io.Writer) int {
 		warmup     = fs.Int64("warmup", 30000, "warmup instructions per thread")
 		measure    = fs.Int64("measure", 60000, "measured instructions per thread")
 		seed       = fs.Uint64("seed", 1, "workload seed")
+		cacheSize  = fs.Int("cache", 1024, "max job results reused across experiments (0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
 			return 0
 		}
 		return 2
+	}
+
+	// Validate numeric flags up front with a clear message; the engine's
+	// Opts.normalized would otherwise silently rewrite nonsense values.
+	for _, check := range []struct {
+		bad bool
+		msg string
+	}{
+		{*parallel < 0, fmt.Sprintf("-parallel %d is negative; use 0 for GOMAXPROCS or a positive pool size", *parallel)},
+		{*runs <= 0, fmt.Sprintf("-runs %d must be positive (rotations averaged per data point)", *runs)},
+		{*warmup < 0, fmt.Sprintf("-warmup %d is negative; use 0 to skip warmup", *warmup)},
+		{*measure <= 0, fmt.Sprintf("-measure %d must be positive (instructions measured per thread)", *measure)},
+		{*cacheSize < 0, fmt.Sprintf("-cache %d is negative; use 0 to disable result reuse", *cacheSize)},
+	} {
+		if check.bad {
+			fmt.Fprintln(stderr, check.msg)
+			return 2
+		}
 	}
 
 	if *list {
@@ -102,12 +124,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	o := exp.Opts{Runs: *runs, Warmup: *warmup, Measure: *measure, Seed: *seed}
+	runner := exp.Runner{Workers: *parallel}
+	if *cacheSize > 0 {
+		// One content-addressed store across every selected experiment:
+		// configurations shared between grids (baselines, repeated points)
+		// simulate once. Determinism makes reuse invisible in the output.
+		runner.Cache = cache.New[smt.Results](*cacheSize)
+	}
 	var jsonResults []*exp.ExperimentResult
 	for _, e := range exp.Experiments() {
 		if !all && !want[e.Name] {
 			continue
 		}
-		res, err := exp.Runner{Workers: *parallel}.RunExperiment(e, o)
+		res, err := runner.RunExperiment(context.Background(), e, o)
 		if err != nil {
 			fmt.Fprintln(stderr, "experiments:", err)
 			return 1
@@ -187,6 +216,19 @@ func printTable3(w io.Writer, res *exp.ExperimentResult) {
 	metric("avg (combined) queue population", func(i int) string { return fmt.Sprintf("%.0f", rows[i].Res.AvgQueuePop) })
 	metric("wrong-path instructions fetched", func(i int) string { return pct(rows[i].Res.WrongPathFetched) })
 	metric("wrong-path instructions issued", func(i int) string { return pct(rows[i].Res.WrongPathIssued) })
+	// Fetch availability: where every cycle of fetch bandwidth went, by
+	// cause (the rows partition the run's cycles exactly).
+	if len(rows) == 0 {
+		return
+	}
+	avail := make([][]exp.FetchAvailability, len(rows))
+	for i := range rows {
+		avail[i] = exp.FetchAvailabilityRows(rows[i].Res)
+	}
+	for ri, row := range avail[0] {
+		ri := ri
+		metric(row.Cause, func(i int) string { return pct(avail[i][ri].Frac) })
+	}
 }
 
 func printSeries(w io.Writer, res *exp.ExperimentResult) {

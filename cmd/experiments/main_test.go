@@ -180,6 +180,124 @@ func TestTypoAmongValidNamesFails(t *testing.T) {
 	}
 }
 
+// TestJSONElementMatchesEngineBytes ties the CLI to the engine's canonical
+// encoding: each element of the -json array, re-encoded canonically, is
+// byte-identical to exp.Run's output for the same opts. The smtd service
+// serves exactly those engine bytes, so this is the transitive link between
+// `experiments -json` and `GET /v1/jobs/{id}/result`.
+func TestJSONElementMatchesEngineBytes(t *testing.T) {
+	out, _, code := runCLI(t, append([]string{"-experiment", "fig7", "-json"}, tiny...)...)
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	var results []*exp.ExperimentResult
+	if err := json.Unmarshal([]byte(out), &results); err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 {
+		t.Fatalf("want 1 result, got %d", len(results))
+	}
+	var cli bytes.Buffer
+	if err := results[0].EncodeJSON(&cli); err != nil {
+		t.Fatal(err)
+	}
+	want, err := exp.Run("fig7", exp.Opts{Runs: 1, Warmup: 500, Measure: 1000, Seed: 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var engine bytes.Buffer
+	if err := want.EncodeJSON(&engine); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cli.Bytes(), engine.Bytes()) {
+		t.Fatalf("CLI element differs from engine bytes:\n%s\nvs\n%s", cli.String(), engine.String())
+	}
+}
+
+// TestInvalidNumericFlagsRejected: nonsense pool sizes and budgets must
+// fail fast with a clear message, not be silently normalized by the
+// engine's Opts defaults.
+func TestInvalidNumericFlagsRejected(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"negative parallel", []string{"-parallel", "-1"}, "-parallel -1 is negative"},
+		{"zero runs", []string{"-runs", "0"}, "-runs 0 must be positive"},
+		{"negative runs", []string{"-runs", "-3"}, "-runs -3 must be positive"},
+		{"negative warmup", []string{"-warmup", "-5"}, "-warmup -5 is negative"},
+		{"zero measure", []string{"-measure", "0"}, "-measure 0 must be positive"},
+		{"negative measure", []string{"-measure", "-100"}, "-measure -100 must be positive"},
+		{"negative cache", []string{"-cache", "-2"}, "-cache -2 is negative"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			args := append([]string{"-experiment", "fig7"}, c.args...)
+			out, errOut, code := runCLI(t, args...)
+			if code != 2 {
+				t.Fatalf("exit %d, want 2 (stderr %q)", code, errOut)
+			}
+			if !strings.Contains(errOut, c.want) {
+				t.Fatalf("stderr %q does not contain %q", errOut, c.want)
+			}
+			if strings.Contains(out, "====") {
+				t.Fatalf("experiment ran despite invalid flags:\n%s", out)
+			}
+		})
+	}
+}
+
+// TestZeroParallelMeansGOMAXPROCS: 0 remains a valid "use all cores"
+// sentinel, only negatives are rejected.
+func TestZeroParallelMeansGOMAXPROCS(t *testing.T) {
+	out, errOut, code := runCLI(t, append([]string{"-experiment", "fig7", "-parallel", "0"}, tiny...)...)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errOut)
+	}
+	if !strings.Contains(out, "==== fig7") {
+		t.Fatalf("fig7 did not run:\n%s", out)
+	}
+}
+
+// TestCacheFlagKeepsOutputIdentical: enabling or disabling cross-experiment
+// result reuse must never change output bytes — reuse is legal precisely
+// because jobs are deterministic functions of their content address.
+func TestCacheFlagKeepsOutputIdentical(t *testing.T) {
+	base := append([]string{"-experiment", "fig3,table3", "-json"}, tiny...)
+	cached, _, code := runCLI(t, append(base, "-cache", "1024")...)
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	uncached, _, code := runCLI(t, append(base, "-cache", "0")...)
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if cached != uncached {
+		t.Fatalf("-cache changed the JSON:\n%s\nvs\n%s", cached, uncached)
+	}
+}
+
+// TestTable3ShowsFetchAvailability: the Table-3 printer must include the
+// per-cause fetch-loss breakdown rows.
+func TestTable3ShowsFetchAvailability(t *testing.T) {
+	out, errOut, code := runCLI(t, append([]string{"-experiment", "table3"}, tiny...)...)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errOut)
+	}
+	for _, row := range []string{
+		"fetch delivered instructions",
+		"lost: IQ back-pressure",
+		"lost: no fetchable thread",
+		"lost: I-cache miss",
+		"lost: cache-fill bank conflict",
+	} {
+		if !strings.Contains(out, row) {
+			t.Errorf("table3 output missing %q:\n%s", row, out)
+		}
+	}
+}
+
 func TestEveryExperimentHasAPrinter(t *testing.T) {
 	for _, e := range exp.Experiments() {
 		if printers[e.Name] == nil {

@@ -1,0 +1,106 @@
+// Command smtd serves the experiment engine over HTTP: a simulation
+// service for sweeping SMT fetch/issue-policy configurations (Tullsen et
+// al., ISCA 1996) without re-simulating identical points.
+//
+//	smtd -addr :8080 -workers 8 -cache 4096
+//
+// Endpoints:
+//
+//	GET    /v1/experiments      list the registry (the paper's tables/figures)
+//	POST   /v1/sweep            submit a registry or inline-grid sweep
+//	GET    /v1/jobs             list submitted sweeps
+//	GET    /v1/jobs/{id}        streaming progress: jobs done, cache hits
+//	GET    /v1/jobs/{id}/result canonical ExperimentResult JSON
+//	DELETE /v1/jobs/{id}        cancel a running sweep
+//	GET    /v1/cache            content-addressed result cache metrics
+//
+// Example: a two-point sweep, then the same sweep again served entirely
+// from cache:
+//
+//	curl -s localhost:8080/v1/sweep -d '{"experiment":"table4","wait":true}'
+//
+// Every job's results are stored under a content address — the machine
+// configuration's fingerprint plus workload seed and budgets — so any
+// sweep, by any client, reuses every simulation the service has already
+// run. Determinism makes the reuse exact: a cached sweep is byte-identical
+// to a fresh one.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, nil))
+}
+
+// run is main with its dependencies injected. When ready is non-nil it
+// receives the server's bound address once listening — tests use it with
+// -addr 127.0.0.1:0 to grab an ephemeral port.
+func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
+	fs := flag.NewFlagSet("smtd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr      = fs.String("addr", ":8080", "listen address")
+		workers   = fs.Int("workers", 0, "simulation worker pool size per sweep (0 = GOMAXPROCS)")
+		cacheSize = fs.Int("cache", 4096, "max cached job results (bounded LRU, must be positive)")
+	)
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
+	if *workers < 0 {
+		fmt.Fprintf(stderr, "-workers %d is negative; use 0 for GOMAXPROCS\n", *workers)
+		return 2
+	}
+	if *cacheSize <= 0 {
+		// Deliberately stricter than cmd/experiments (where -cache 0
+		// disables reuse): a long-running service always caches, and an
+		// unbounded store would grow RSS forever.
+		fmt.Fprintf(stderr, "-cache %d must be positive; the service always runs a bounded result cache\n", *cacheSize)
+		return 2
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "smtd:", err)
+		return 1
+	}
+	srv := &http.Server{Handler: NewServer(*workers, *cacheSize).Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	fmt.Fprintf(stdout, "smtd listening on %s\n", ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(stderr, "smtd:", err)
+			return 1
+		}
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(shutdownCtx)
+		fmt.Fprintln(stdout, "smtd: shut down")
+	}
+	return 0
+}

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestFlagValidation: smtd rejects nonsense flags up front with exit 2.
+// Note -cache 0 is invalid here (the service always runs a bounded cache),
+// unlike cmd/experiments where 0 disables reuse.
+func TestFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"negative workers", []string{"-workers", "-1"}, "-workers -1 is negative"},
+		{"zero cache", []string{"-cache", "0"}, "-cache 0 must be positive"},
+		{"negative cache", []string{"-cache", "-5"}, "-cache -5 must be positive"},
+		{"bad flag", []string{"-no-such-flag"}, "flag provided but not defined"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			if code := run(c.args, &out, &errb, nil); code != 2 {
+				t.Fatalf("exit %d, want 2 (stderr %q)", code, errb.String())
+			}
+			if !strings.Contains(errb.String(), c.want) {
+				t.Fatalf("stderr %q does not contain %q", errb.String(), c.want)
+			}
+		})
+	}
+}
+
+func TestHelpExitsZero(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-h"}, &out, &errb, nil); code != 0 {
+		t.Fatalf("-h exited %d, want 0", code)
+	}
+	if !strings.Contains(errb.String(), "-addr") {
+		t.Fatalf("usage missing flags: %q", errb.String())
+	}
+}

@@ -1,0 +1,460 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+
+	"repro/internal/cache"
+	"repro/internal/exp"
+	"repro/smt"
+)
+
+// Server is the simulation service: the experiment engine served over
+// HTTP, backed by one content-addressed result cache shared by every
+// sweep. Repeated or overlapping sweeps — many clients exploring the same
+// fetch/issue-policy grids — reuse per-job results instead of
+// re-simulating them, and determinism guarantees a cache hit returns
+// exactly the bytes a fresh simulation would.
+type Server struct {
+	workers int
+	store   *cache.Store[smt.Results]
+	flight  *cache.Flight[smt.Results] // store + in-flight dedup, what runners consult
+	sem     chan struct{}              // global simulation slots, shared by every sweep
+
+	mu         sync.Mutex
+	sweeps     map[string]*sweep
+	order      []string // submission order, for listing
+	nextID     int
+	maxHistory int // finished sweeps retained; older ones are evicted
+}
+
+// sweep is one submitted sweep job and its progress.
+type sweep struct {
+	id         string
+	experiment string
+	opts       exp.Opts
+	state      string // "running", "done", "failed"
+	totalJobs  int
+	doneJobs   int
+	cacheHits  int
+	resultJSON []byte // ExperimentResult.EncodeJSON bytes, once done
+	errMsg     string
+	cancel     context.CancelFunc
+	done       chan struct{}
+}
+
+// defaultMaxHistory bounds how many finished sweeps (with their encoded
+// results) the service retains; running sweeps are never evicted.
+const defaultMaxHistory = 64
+
+// NewServer builds a service with the given simulation concurrency
+// (<=0 means GOMAXPROCS) and result-cache capacity (0 means unbounded).
+// The concurrency bound is global: however many sweeps run at once, at
+// most `workers` simulations execute concurrently.
+func NewServer(workers, cacheSize int) *Server {
+	n := workers
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	store := cache.New[smt.Results](cacheSize)
+	return &Server{
+		workers: workers,
+		store:   store,
+		// In-flight dedup on top of the store: concurrent identical sweeps
+		// compute each overlapping job once, the rest wait and take the hit.
+		flight:     cache.NewFlight[smt.Results](store),
+		sem:        make(chan struct{}, n),
+		sweeps:     make(map[string]*sweep),
+		maxHistory: defaultMaxHistory,
+	}
+}
+
+// Handler returns the service's route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	mux.HandleFunc("GET /v1/cache", s.handleCache)
+	return mux
+}
+
+// experimentInfo is one registry entry as the API lists it.
+type experimentInfo struct {
+	Name   string `json:"name"`
+	Title  string `json:"title"`
+	Series int    `json:"series"`
+	Points int    `json:"points"`
+}
+
+func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	out := make([]experimentInfo, 0)
+	for _, e := range exp.Experiments() {
+		out = append(out, experimentInfo{
+			Name:   e.Name,
+			Title:  e.Title,
+			Series: e.Shape.Series,
+			Points: e.Shape.Points,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// gridPoint is one inline-grid cell of a sweep request. Config, when
+// present, is a partial smt.Config overlaid on smt.DefaultConfig(Threads),
+// so clients set only the fields they sweep.
+type gridPoint struct {
+	Series  string          `json:"series"`
+	Label   string          `json:"label"`
+	Threads int             `json:"threads"`
+	Config  json.RawMessage `json:"config,omitempty"`
+}
+
+// sweepRequest is the body of POST /v1/sweep: a registry experiment by
+// name, or an inline config grid.
+type sweepRequest struct {
+	Experiment string      `json:"experiment,omitempty"`
+	Name       string      `json:"name,omitempty"` // inline-grid sweep name
+	Grid       []gridPoint `json:"grid,omitempty"`
+	Opts       *exp.Opts   `json:"opts,omitempty"` // nil means exp.DefaultOpts
+	Wait       bool        `json:"wait,omitempty"` // block until done
+}
+
+// sweepStatus is the progress report for one sweep; GET /v1/jobs/{id}
+// serves it while jobs stream through the worker pool.
+type sweepStatus struct {
+	ID         string      `json:"id"`
+	Experiment string      `json:"experiment"`
+	Opts       exp.Opts    `json:"opts"`
+	State      string      `json:"state"`
+	TotalJobs  int         `json:"total_jobs"`
+	DoneJobs   int         `json:"done_jobs"`
+	CacheHits  int         `json:"cache_hits"`
+	Error      string      `json:"error,omitempty"`
+	ResultURL  string      `json:"result_url,omitempty"`
+	Cache      cache.Stats `json:"cache"`
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	// Partial opts overlay exp.DefaultOpts, the same way partial grid
+	// configs overlay smt.DefaultConfig: decoding into pre-filled defaults
+	// keeps absent fields at their default values.
+	o := exp.DefaultOpts()
+	req := sweepRequest{Opts: &o}
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid request body: %v", err)
+		return
+	}
+	if req.Opts == nil {
+		// A literal "opts": null overwrites the pre-filled pointer; treat
+		// it like an absent field rather than dereferencing nil.
+		req.Opts = &o
+	}
+
+	e, err := req.experimentDef()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	o = *req.Opts
+	if err := validateOpts(o); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	jobs, err := exp.Jobs(e, o)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	sw := s.startSweep(e, o, len(jobs))
+	if req.Wait {
+		<-sw.done
+	}
+	code := http.StatusAccepted
+	if req.Wait {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, s.status(sw))
+}
+
+// experimentDef resolves the request to an experiment: a registry lookup,
+// or an ad-hoc experiment wrapping the inline grid.
+func (r sweepRequest) experimentDef() (exp.Experiment, error) {
+	switch {
+	case r.Experiment != "" && len(r.Grid) > 0:
+		return exp.Experiment{}, fmt.Errorf("pass either experiment or grid, not both")
+	case r.Experiment != "":
+		e, ok := exp.Lookup(r.Experiment)
+		if !ok {
+			return exp.Experiment{}, fmt.Errorf("unknown experiment %q (GET /v1/experiments lists the registry)", r.Experiment)
+		}
+		return e, nil
+	case len(r.Grid) > 0:
+		return inlineExperiment(r.Name, r.Grid)
+	default:
+		return exp.Experiment{}, fmt.Errorf("empty sweep: pass an experiment name or an inline grid")
+	}
+}
+
+// inlineExperiment materializes an ad-hoc grid: each point's config starts
+// from smt.DefaultConfig(threads) and overlays the client's partial config
+// JSON, then must validate like any machine the simulator accepts.
+func inlineExperiment(name string, grid []gridPoint) (exp.Experiment, error) {
+	if name == "" {
+		name = "inline"
+	}
+	pts := make([]exp.PointSpec, 0, len(grid))
+	series := map[string]bool{}
+	for i, g := range grid {
+		if g.Threads < 1 {
+			return exp.Experiment{}, fmt.Errorf("grid[%d]: threads %d, want >= 1", i, g.Threads)
+		}
+		cfg := smt.DefaultConfig(g.Threads)
+		if len(g.Config) > 0 {
+			dec := json.NewDecoder(bytes.NewReader(g.Config))
+			dec.DisallowUnknownFields()
+			if err := dec.Decode(&cfg); err != nil {
+				return exp.Experiment{}, fmt.Errorf("grid[%d]: invalid config: %v", i, err)
+			}
+		}
+		// The top-level threads field sized the default config (and its
+		// nested per-thread subsystems); a contradictory Threads inside the
+		// overlay would silently run a different machine, so reject it.
+		if cfg.Threads != g.Threads {
+			return exp.Experiment{}, fmt.Errorf("grid[%d]: config.Threads %d conflicts with threads %d",
+				i, cfg.Threads, g.Threads)
+		}
+		if err := cfg.Validate(); err != nil {
+			return exp.Experiment{}, fmt.Errorf("grid[%d]: %v", i, err)
+		}
+		sName := g.Series
+		if sName == "" {
+			sName = name
+		}
+		label := g.Label
+		if label == "" {
+			label = cfg.FetchName()
+		}
+		series[sName] = true
+		pts = append(pts, exp.PointSpec{Series: sName, Label: label, Threads: g.Threads, Config: cfg})
+	}
+	return exp.Experiment{
+		Name:   name,
+		Title:  fmt.Sprintf("inline sweep %s (%d points)", name, len(pts)),
+		Shape:  exp.Shape{Series: len(series), Points: len(pts)},
+		Points: func() []exp.PointSpec { return pts },
+	}, nil
+}
+
+// validateOpts mirrors the experiments CLI's up-front flag validation.
+func validateOpts(o exp.Opts) error {
+	switch {
+	case o.Runs <= 0:
+		return fmt.Errorf("opts.runs %d must be positive", o.Runs)
+	case o.Measure <= 0:
+		return fmt.Errorf("opts.measure %d must be positive", o.Measure)
+	case o.Warmup < 0:
+		return fmt.Errorf("opts.warmup %d is negative; use 0 to skip warmup", o.Warmup)
+	}
+	return nil
+}
+
+// startSweep registers the sweep and launches it on the engine. Progress
+// streams through the runner's per-job completion callback.
+func (s *Server) startSweep(e exp.Experiment, o exp.Opts, totalJobs int) *sweep {
+	ctx, cancel := context.WithCancel(context.Background())
+	s.mu.Lock()
+	s.nextID++
+	sw := &sweep{
+		id:         fmt.Sprintf("sweep-%d", s.nextID),
+		experiment: e.Name,
+		opts:       o.Normalized(),
+		state:      "running",
+		totalJobs:  totalJobs,
+		cancel:     cancel,
+		done:       make(chan struct{}),
+	}
+	s.sweeps[sw.id] = sw
+	s.order = append(s.order, sw.id)
+	s.pruneHistoryLocked()
+	s.mu.Unlock()
+
+	runner := exp.Runner{
+		Workers: s.workers,
+		Cache:   s.flight,
+		Sem:     s.sem,
+		OnJobDone: func(j exp.Job, r smt.Results, fromCache bool) {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			sw.doneJobs++
+			if fromCache {
+				sw.cacheHits++
+			}
+		},
+	}
+	go func() {
+		defer close(sw.done)
+		defer cancel()
+		res, err := runner.RunExperiment(ctx, e, o)
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if err != nil {
+			sw.state = "failed"
+			sw.errMsg = err.Error()
+			return
+		}
+		var buf bytes.Buffer
+		if err := res.EncodeJSON(&buf); err != nil {
+			sw.state = "failed"
+			sw.errMsg = err.Error()
+			return
+		}
+		sw.resultJSON = buf.Bytes()
+		sw.state = "done"
+	}()
+	return sw
+}
+
+// pruneHistoryLocked evicts the oldest finished sweeps (and their encoded
+// results) once more than maxHistory are retained, so a long-running
+// service does not grow without bound. Running sweeps are never evicted;
+// evicted sweep IDs answer 404 afterwards. Callers hold s.mu.
+func (s *Server) pruneHistoryLocked() {
+	if s.maxHistory <= 0 {
+		return
+	}
+	excess := len(s.order) - s.maxHistory
+	if excess <= 0 {
+		return
+	}
+	keep := s.order[:0]
+	for _, id := range s.order {
+		sw := s.sweeps[id]
+		if excess > 0 && sw.state != "running" {
+			delete(s.sweeps, id)
+			excess--
+			continue
+		}
+		keep = append(keep, id)
+	}
+	s.order = keep
+}
+
+// status snapshots a sweep's progress.
+func (s *Server) status(sw *sweep) sweepStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.statusLocked(sw)
+}
+
+// statusLocked is status for callers already holding s.mu.
+func (s *Server) statusLocked(sw *sweep) sweepStatus {
+	st := sweepStatus{
+		ID:         sw.id,
+		Experiment: sw.experiment,
+		Opts:       sw.opts,
+		State:      sw.state,
+		TotalJobs:  sw.totalJobs,
+		DoneJobs:   sw.doneJobs,
+		CacheHits:  sw.cacheHits,
+		Error:      sw.errMsg,
+		Cache:      s.store.Stats(),
+	}
+	if sw.state == "done" {
+		st.ResultURL = "/v1/jobs/" + sw.id + "/result"
+	}
+	return st
+}
+
+func (s *Server) lookup(id string) (*sweep, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sw, ok := s.sweeps[id]
+	return sw, ok
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	out := make([]sweepStatus, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.statusLocked(s.sweeps[id]))
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	sw, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no sweep %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.status(sw))
+}
+
+// handleJobResult serves the finished sweep's ExperimentResult as exactly
+// the engine's canonical encoding — byte-identical to what
+// `experiments -json` emits for the same experiment and opts (the CLI
+// wraps these objects in a JSON array).
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	sw, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no sweep %q", r.PathValue("id"))
+		return
+	}
+	s.mu.Lock()
+	state, body := sw.state, sw.resultJSON
+	s.mu.Unlock()
+	if state != "done" {
+		writeError(w, http.StatusConflict, "sweep %s is %s, not done", sw.id, state)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(body)
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	sw, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no sweep %q", r.PathValue("id"))
+		return
+	}
+	sw.cancel()
+	<-sw.done
+	writeJSON(w, http.StatusOK, s.status(sw))
+}
+
+func (s *Server) handleCache(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.store.Stats())
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+}

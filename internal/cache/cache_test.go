@@ -1,0 +1,59 @@
+package cache
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestStoreHitMissSemantics(t *testing.T) {
+	s := New[string](4)
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("hit on empty store")
+	}
+	s.Put("k", "v")
+	got, ok := s.Get("k")
+	if !ok || got != "v" {
+		t.Fatalf("Get = %q, %v", got, ok)
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Len != 1 || st.Cap != 4 {
+		t.Fatalf("stats %+v", st)
+	}
+	// Replacement keeps one entry and returns the new value.
+	s.Put("k", "v2")
+	if got, _ := s.Get("k"); got != "v2" {
+		t.Fatalf("replacement lost: %q", got)
+	}
+	if s.Stats().Len != 1 {
+		t.Fatalf("replacement grew the store: %+v", s.Stats())
+	}
+}
+
+func TestStoreLRUEviction(t *testing.T) {
+	s := New[int](2)
+	s.Put("a", 1)
+	s.Put("b", 2)
+	s.Get("a")    // "a" is now most recently used
+	s.Put("c", 3) // evicts "b"
+	if _, ok := s.Get("b"); ok {
+		t.Fatal("LRU entry survived eviction")
+	}
+	for _, k := range []string{"a", "c"} {
+		if _, ok := s.Get(k); !ok {
+			t.Fatalf("%q was evicted out of LRU order", k)
+		}
+	}
+	if st := s.Stats(); st.Evictions != 1 || st.Len != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestStoreUnboundedWhenCapZero(t *testing.T) {
+	s := New[int](0)
+	for i := 0; i < 100; i++ {
+		s.Put(fmt.Sprintf("k%d", i), i)
+	}
+	if st := s.Stats(); st.Len != 100 || st.Evictions != 0 {
+		t.Fatalf("unbounded store evicted: %+v", st)
+	}
+}

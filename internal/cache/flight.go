@@ -1,0 +1,71 @@
+package cache
+
+import "sync"
+
+// Getter is the store surface Flight wraps: the Get/Put pair the
+// experiment runner's JobCache contract uses.
+type Getter[V any] interface {
+	Get(key string) (V, bool)
+	Put(key string, v V)
+}
+
+// Flight adds in-flight deduplication (singleflight) to a store: when one
+// caller misses on a key, subsequent Gets for the same key block until
+// that caller Puts, then return the stored value as a hit — so N
+// concurrent identical sweeps compute each key once instead of N times.
+//
+// The protocol matches the runner's usage exactly: a caller whose Get
+// returns false is the key's leader and MUST eventually Put it; callers
+// that Get a hit need not do anything. Deadlock-free under a shared
+// concurrency semaphore because a leader never waits on other keys while
+// it holds leadership.
+type Flight[V any] struct {
+	inner Getter[V]
+
+	mu       sync.Mutex
+	inflight map[string]chan struct{}
+}
+
+// NewFlight wraps inner with in-flight deduplication.
+func NewFlight[V any](inner Getter[V]) *Flight[V] {
+	return &Flight[V]{inner: inner, inflight: make(map[string]chan struct{})}
+}
+
+// Get returns the value for key, waiting for an in-flight computation of
+// the same key to finish rather than reporting a duplicate miss. A false
+// return makes the caller the key's leader, obligated to Put.
+func (f *Flight[V]) Get(key string) (V, bool) {
+	for {
+		if v, ok := f.inner.Get(key); ok {
+			return v, true
+		}
+		f.mu.Lock()
+		ch, ok := f.inflight[key]
+		if !ok {
+			// The previous leader may have Put (store write, then inflight
+			// delete) between our store miss and taking the lock; re-check
+			// before claiming leadership or we'd recompute a cached key.
+			if v, cached := f.inner.Get(key); cached {
+				f.mu.Unlock()
+				return v, true
+			}
+			f.inflight[key] = make(chan struct{})
+			f.mu.Unlock()
+			var zero V
+			return zero, false // caller is the leader for this key
+		}
+		f.mu.Unlock()
+		<-ch // leader finished; retry the store (re-lead if it was evicted)
+	}
+}
+
+// Put stores the value and releases every waiter blocked on the key.
+func (f *Flight[V]) Put(key string, v V) {
+	f.inner.Put(key, v)
+	f.mu.Lock()
+	if ch, ok := f.inflight[key]; ok {
+		delete(f.inflight, key)
+		close(ch)
+	}
+	f.mu.Unlock()
+}

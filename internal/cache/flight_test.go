@@ -1,0 +1,82 @@
+package cache
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestFlightDedupesConcurrentMisses: N concurrent callers racing on one
+// key produce exactly one leader (miss); everyone else blocks until the
+// leader Puts and then observes a hit with the leader's value.
+func TestFlightDedupesConcurrentMisses(t *testing.T) {
+	f := NewFlight[int](New[int](0))
+	const callers = 8
+	var leaders, hits atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, ok := f.Get("k")
+			if !ok {
+				leaders.Add(1)
+				time.Sleep(10 * time.Millisecond) // simulate the computation
+				f.Put("k", 42)
+				return
+			}
+			if v != 42 {
+				t.Errorf("waiter got %d, want the leader's 42", v)
+			}
+			hits.Add(1)
+		}()
+	}
+	wg.Wait()
+	if leaders.Load() != 1 || hits.Load() != callers-1 {
+		t.Fatalf("%d leaders / %d hits, want 1 / %d", leaders.Load(), hits.Load(), callers-1)
+	}
+}
+
+// TestFlightReleadsAfterEviction: if the store evicts a key after its
+// flight completes, the next Get becomes a fresh leader instead of
+// blocking forever.
+func TestFlightReleadsAfterEviction(t *testing.T) {
+	inner := New[int](1)
+	f := NewFlight[int](inner)
+	if _, ok := f.Get("a"); ok {
+		t.Fatal("unexpected hit")
+	}
+	f.Put("a", 1)
+	f.Put("b", 2) // capacity 1: evicts "a"
+	if _, ok := f.Get("a"); ok {
+		t.Fatal("evicted key reported a hit")
+	}
+	f.Put("a", 3)
+	if v, ok := f.Get("a"); !ok || v != 3 {
+		t.Fatalf("re-led key: %d, %v", v, ok)
+	}
+}
+
+// TestFlightDistinctKeysIndependent: leadership on one key must not block
+// Gets for another.
+func TestFlightDistinctKeysIndependent(t *testing.T) {
+	f := NewFlight[int](New[int](0))
+	if _, ok := f.Get("x"); ok {
+		t.Fatal("unexpected hit")
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, ok := f.Get("y"); ok {
+			t.Error("unexpected hit on y")
+		}
+		f.Put("y", 2)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Get(y) blocked behind the in-flight x")
+	}
+	f.Put("x", 1)
+}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"repro/internal/branch"
+	"repro/internal/fingerprint"
 	"repro/internal/mem"
 	"repro/internal/policy"
 	"repro/internal/rename"
@@ -162,6 +163,15 @@ func (c Config) Validate() error {
 		return err
 	}
 	return c.Mem.Validate()
+}
+
+// Fingerprint returns the configuration's content address: a stable hash
+// of every exported field (nested subsystem configs included), invariant
+// under struct-field reordering. Two configs with equal fingerprints
+// produce identical simulations for the same workload, which is what lets
+// the result cache reuse one's results for the other.
+func (c Config) Fingerprint() string {
+	return fingerprint.Of(c)
 }
 
 // FetchName renders the paper's alg.num1.num2 notation for this config

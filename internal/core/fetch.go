@@ -32,6 +32,7 @@ func (p *Processor) fetchStage() {
 	var picks [8]pick
 	nPicks := 0
 	usedBanks := uint32(0)
+	fillBusy := false
 	for _, t := range order {
 		if nPicks >= p.cfg.FetchThreads {
 			break
@@ -45,6 +46,7 @@ func (p *Processor) fetchStage() {
 			continue // I-cache bank conflict with a higher-priority thread
 		}
 		if p.mem.InstrBankBusy(p.cycle, th.fetchPC) {
+			fillBusy = true
 			continue // bank busy with a cache fill
 		}
 		if p.cfg.ITAG {
@@ -63,22 +65,31 @@ func (p *Processor) fetchStage() {
 	}
 
 	if nPicks == 0 {
-		p.stats.FetchLostNoThread++
+		// A thread that wanted to fetch but found its bank occupied by a
+		// cache fill is a bank-conflict loss, not an idle machine.
+		if fillBusy {
+			p.stats.FetchLostBankConflict++
+		} else {
+			p.stats.FetchLostNoThread++
+		}
 		return
 	}
 
 	budget := p.cfg.FetchTotal
 	fetchedAny := false
+	missed, conflicted := false, false
 	for i := 0; i < nPicks && budget > 0; i++ {
 		th := picks[i].th
 		r := p.mem.AccessInstr(p.cycle, th.fetchPC)
 		if r.BankConflict {
+			conflicted = true
 			continue // lost to a fill that started this cycle
 		}
 		if r.Miss {
 			// Without ITAG the selected slot is simply lost this cycle.
 			th.imissUntil = r.Done
 			p.stats.ICacheMissStalls++
+			missed = true
 			continue
 		}
 		n := p.fetchThread(th, min(p.cfg.FetchPerThread, budget))
@@ -87,10 +98,22 @@ func (p *Processor) fetchStage() {
 			fetchedAny = true
 		}
 	}
-	if fetchedAny {
+	// Attribute the cycle to exactly one outcome so the per-cause counters
+	// partition Cycles. A cycle losing picks to both causes charges the
+	// I-miss: the miss stalls the thread for many cycles, the conflict only
+	// this one.
+	switch {
+	case fetchedAny:
 		p.stats.FetchCycles++
-	} else {
+	case missed:
 		p.stats.FetchLostIMiss++
+	case conflicted:
+		p.stats.FetchLostBankConflict++
+	default:
+		// Unreachable: FetchTotal >= 1 and nPicks >= 1 guarantee the loop
+		// produced one of the outcomes above. Counted anyway so the
+		// invariant (the counters partition Cycles) survives a logic bug.
+		p.stats.FetchLostNoThread++
 	}
 }
 

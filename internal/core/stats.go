@@ -16,10 +16,14 @@ type Stats struct {
 	ICacheMissStalls int64 // fetch opportunities lost to I-cache misses
 
 	// Fetch-loss accounting: cycles in which no instruction was fetched,
-	// by cause (the paper's "fetch availability" discussion).
+	// by cause (the paper's "fetch availability" discussion). Exactly one
+	// of these (or FetchCycles) increments per cycle, so
+	// FetchCycles + FetchLostBackPressure + FetchLostNoThread +
+	// FetchLostIMiss + FetchLostBankConflict == Cycles.
 	FetchLostBackPressure int64 // decode latch occupied (IQ / rename stall upstream)
-	FetchLostNoThread     int64 // every thread blocked, I-missing, or bank-conflicted
-	FetchLostIMiss        int64 // selected threads all missed in the I-cache
+	FetchLostNoThread     int64 // every thread stalled on a bubble or in-flight I-miss
+	FetchLostIMiss        int64 // a selected thread missed in the I-cache, none fetched
+	FetchLostBankConflict int64 // fetchable threads all lost to cache-fill bank conflicts
 
 	// Issue.
 	Issued           int64
@@ -146,6 +150,16 @@ func (s *Stats) UsefulFetchPerCycle() float64 {
 		return 0
 	}
 	return float64(s.Fetched-s.FetchedWrongPath) / float64(s.Cycles)
+}
+
+// CycleFrac returns n as a fraction of all simulated cycles; the fetch
+// availability breakdown (FetchCycles and the FetchLost* counters) reports
+// through it.
+func (s *Stats) CycleFrac(n int64) float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(n) / float64(s.Cycles)
 }
 
 // PerK returns n per thousand committed instructions (the paper's

@@ -2,6 +2,28 @@ package exp
 
 import "repro/smt"
 
+// FetchAvailability is one row of the Table-3-style fetch-bandwidth
+// bottleneck breakdown: the fraction of all cycles one fetch outcome
+// accounts for. The five rows partition the run's cycles exactly (the
+// core's fetch-accounting invariant), so a reader can see where every
+// cycle of fetch bandwidth went.
+type FetchAvailability struct {
+	Cause string
+	Frac  float64
+}
+
+// FetchAvailabilityRows extracts the per-cause fetch breakdown from one
+// configuration's results, in fixed display order.
+func FetchAvailabilityRows(r smt.Results) []FetchAvailability {
+	return []FetchAvailability{
+		{"fetch delivered instructions", r.FetchCyclesFrac},
+		{"lost: IQ back-pressure", r.FetchLostBackPressure},
+		{"lost: no fetchable thread", r.FetchLostNoThread},
+		{"lost: I-cache miss", r.FetchLostIMiss},
+		{"lost: cache-fill bank conflict", r.FetchLostBankConflict},
+	}
+}
+
 // Sec7Result is one bottleneck experiment: the modified machine's IPC next
 // to the ICOUNT.2.8 baseline at the same thread count.
 type Sec7Result struct {

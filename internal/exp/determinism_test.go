@@ -2,6 +2,7 @@ package exp
 
 import (
 	"bytes"
+	"context"
 	"reflect"
 	"testing"
 )
@@ -26,12 +27,12 @@ func TestDeterminismParallelMatchesSerial(t *testing.T) {
 	o := tinyOpts()
 	for _, name := range []string{"fig7", "table4"} {
 		e, _ := Lookup(name)
-		serial, err := Runner{Workers: 1}.RunExperiment(e, o)
+		serial, err := Runner{Workers: 1}.RunExperiment(context.Background(), e, o)
 		if err != nil {
 			t.Fatal(err)
 		}
 		for _, workers := range []int{2, 4, 7} {
-			parallel, err := Runner{Workers: workers}.RunExperiment(e, o)
+			parallel, err := Runner{Workers: workers}.RunExperiment(context.Background(), e, o)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -29,8 +29,10 @@ func DefaultOpts() Opts {
 	return Opts{Runs: 4, Warmup: 30_000, Measure: 60_000, Seed: 1}
 }
 
-// quick returns laptop-quick budgets for tests.
-func (o Opts) normalized() Opts {
+// Normalized returns the opts the engine actually runs: non-positive Runs
+// and Measure fall back to minimal defaults. The engine applies it on
+// every entry path, so result files always record effective budgets.
+func (o Opts) Normalized() Opts {
 	if o.Runs <= 0 {
 		o.Runs = 1
 	}
@@ -39,6 +41,10 @@ func (o Opts) normalized() Opts {
 	}
 	return o
 }
+
+// normalized is the historical unexported spelling, kept for the package's
+// internal call sites.
+func (o Opts) normalized() Opts { return o.Normalized() }
 
 // Point is one measured machine configuration.
 type Point struct {

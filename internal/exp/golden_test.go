@@ -64,7 +64,7 @@ func TestGoldenFiles(t *testing.T) {
 // TestGoldenSchemaVersion pins the schema constant; bumping it must be a
 // deliberate act that also regenerates every golden file.
 func TestGoldenSchemaVersion(t *testing.T) {
-	if SchemaVersion != 1 {
+	if SchemaVersion != 2 {
 		t.Fatalf("SchemaVersion is %d; regenerate golden files and update this test deliberately", SchemaVersion)
 	}
 }

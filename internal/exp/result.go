@@ -8,7 +8,11 @@ import (
 // SchemaVersion identifies the JSON layout of ExperimentResult. Bump it on
 // any field rename or semantic change so downstream tooling can reject
 // files it does not understand.
-const SchemaVersion = 1
+//
+// v2: smt.Results gained the five fetch-availability fields
+// (fetch_cycles_frac and the fetch_lost_* split, including the corrected
+// I-miss / bank-conflict attribution).
+const SchemaVersion = 2
 
 // SeriesResult is one line of a figure (or row group of a table): a named
 // sequence of points in grid order.

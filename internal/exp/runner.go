@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -31,6 +32,27 @@ func JobSeed(base uint64, run int) uint64 {
 	return base + uint64(run)
 }
 
+// Key returns the job's content address: everything that determines its
+// smt.Results — the machine configuration's fingerprint, the rotation, the
+// derived workload seed, and the measurement budgets. Experiment and point
+// identity are deliberately excluded (they do not affect the simulation),
+// so the same configuration appearing in two different grids shares one
+// cache entry.
+func (j Job) Key(o Opts) string {
+	o = o.normalized()
+	return fmt.Sprintf("%s:r%d:s%d:w%d:m%d",
+		j.Spec.Config.Fingerprint(), j.Run, JobSeed(o.Seed, j.Run), o.Warmup, o.Measure)
+}
+
+// JobCache is the pluggable per-job result store the runner consults
+// before simulating. Implementations must be safe for concurrent use; the
+// content-addressed LRU store in internal/cache satisfies this interface
+// as cache.Store[smt.Results].
+type JobCache interface {
+	Get(key string) (smt.Results, bool)
+	Put(key string, r smt.Results)
+}
+
 // runOne is the shared measurement kernel: build the machine, warm it, and
 // measure. Every path into the simulator (serial Measure, parallel runner)
 // funnels through here so budgets and methodology cannot drift apart.
@@ -47,6 +69,27 @@ func runOne(cfg smt.Config, rotate int, seed uint64, o Opts) smt.Results {
 type Runner struct {
 	// Workers is the pool size; <=0 means runtime.GOMAXPROCS(0).
 	Workers int
+
+	// Cache, when non-nil, is consulted per job before simulating and
+	// updated after. Because jobs are deterministic functions of their
+	// content address, a cache hit returns exactly the bytes a fresh
+	// simulation would, so cached and uncached runs stay byte-identical.
+	Cache JobCache
+
+	// OnJobDone, when non-nil, observes every job completion with its
+	// results and whether they came from Cache. It is called from worker
+	// goroutines, possibly concurrently and in any order; implementations
+	// must synchronize their own state.
+	OnJobDone func(j Job, r smt.Results, fromCache bool)
+
+	// Sem, when non-nil, is a counting semaphore bounding concurrent
+	// simulations across every Runner sharing it. A multi-tenant caller
+	// (the smtd service runs one Runner per sweep) sizes it once so N
+	// concurrent sweeps cannot oversubscribe the machine N-fold. A slot is
+	// acquired only after a cache miss — cache hits, and waiters blocked on
+	// another runner's in-flight computation of the same key, consume no
+	// slot.
+	Sem chan struct{}
 }
 
 func (r Runner) workers() int {
@@ -75,9 +118,13 @@ func Jobs(e Experiment, o Opts) ([]Job, error) {
 
 // RunExperiment executes every job of the experiment across the worker pool
 // and aggregates rotations into points. Results are identical for any
-// worker count: each job's seed depends only on its identity, and
-// aggregation walks jobs in index order, so float summation order is fixed.
-func (r Runner) RunExperiment(e Experiment, o Opts) (*ExperimentResult, error) {
+// worker count and any cache state: each job's seed depends only on its
+// identity, and aggregation walks jobs in index order, so float summation
+// order is fixed.
+//
+// Cancelling ctx stops the run between jobs (an in-flight simulation
+// finishes its budget first) and returns ctx's error.
+func (r Runner) RunExperiment(ctx context.Context, e Experiment, o Opts) (*ExperimentResult, error) {
 	o = o.normalized()
 	jobs, err := Jobs(e, o)
 	if err != nil {
@@ -96,18 +143,58 @@ func (r Runner) RunExperiment(e Experiment, o Opts) (*ExperimentResult, error) {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				j := jobs[i]
-				results[i] = runOne(j.Spec.Config, j.Run, JobSeed(o.Seed, j.Run), o)
+				if ctx.Err() != nil {
+					continue // drain without working; the feeder is stopping
+				}
+				results[i] = r.runJob(jobs[i], o)
 			}
 		}()
 	}
+feed:
 	for i := range jobs {
-		idx <- i
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(idx)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	return aggregate(e, o, jobs, results)
+}
+
+// runJob executes one job, consulting and feeding the cache, and reports
+// completion through OnJobDone. The shared semaphore slot (when set)
+// covers only the simulation itself: the cache lookup happens first, so a
+// hit — or a wait on another runner's in-flight computation — never
+// occupies a slot that a distinct job could use.
+func (r Runner) runJob(j Job, o Opts) smt.Results {
+	var key string
+	if r.Cache != nil {
+		key = j.Key(o)
+		if res, ok := r.Cache.Get(key); ok {
+			if r.OnJobDone != nil {
+				r.OnJobDone(j, res, true)
+			}
+			return res
+		}
+	}
+	if r.Sem != nil {
+		r.Sem <- struct{}{}
+		defer func() { <-r.Sem }()
+	}
+	res := runOne(j.Spec.Config, j.Run, JobSeed(o.Seed, j.Run), o)
+	if r.Cache != nil {
+		r.Cache.Put(key, res)
+	}
+	if r.OnJobDone != nil {
+		r.OnJobDone(j, res, false)
+	}
+	return res
 }
 
 // aggregate folds per-job results into per-point averages and groups points
@@ -155,7 +242,7 @@ func Run(name string, o Opts, workers int) (*ExperimentResult, error) {
 	if !ok {
 		return nil, fmt.Errorf("exp: unknown experiment %q (have %v)", name, Names())
 	}
-	return Runner{Workers: workers}.RunExperiment(e, o)
+	return Runner{Workers: workers}.RunExperiment(context.Background(), e, o)
 }
 
 // mustRun runs a registry experiment whose grid is known statically valid;

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"testing"
 )
 
@@ -116,7 +117,7 @@ func TestJobsExpandGridInOrder(t *testing.T) {
 // data-race canary.
 func TestRunnerConcurrentSmoke(t *testing.T) {
 	e, _ := Lookup("fig7")
-	res, err := Runner{Workers: 4}.RunExperiment(e, tinyOpts())
+	res, err := Runner{Workers: 4}.RunExperiment(context.Background(), e, tinyOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +137,7 @@ func TestRunnerConcurrentSmoke(t *testing.T) {
 func TestRunnerAveragesRotations(t *testing.T) {
 	e, _ := Lookup("fig7")
 	o := tinyOpts()
-	res, err := Runner{Workers: 1}.RunExperiment(e, o)
+	res, err := Runner{Workers: 1}.RunExperiment(context.Background(), e, o)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"runtime"
 	"testing"
 	"time"
@@ -24,7 +25,7 @@ func TestParallelSpeedup(t *testing.T) {
 
 	measure := func(workers int) time.Duration {
 		start := time.Now()
-		if _, err := (Runner{Workers: workers}).RunExperiment(e, o); err != nil {
+		if _, err := (Runner{Workers: workers}).RunExperiment(context.Background(), e, o); err != nil {
 			t.Fatal(err)
 		}
 		return time.Since(start)

@@ -1,0 +1,128 @@
+// Package fingerprint computes canonical content addresses for plain-data
+// configuration values. It is a leaf package — the simulator core uses it
+// to give Config a stable identity, and the caching layer uses those
+// identities as store keys — so neither layer depends on the other.
+//
+// Two values with the same field names and the same field values hash
+// identically no matter how their structs declare or order those fields,
+// so a config that round-trips through JSON, or is rebuilt by a different
+// caller, still produces the same address.
+package fingerprint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"reflect"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Of returns a stable hex digest of the canonical encoding of vs. It is
+// deterministic across processes (no map iteration order, no pointer
+// values) and across struct-field reordering (fields are encoded sorted
+// by name).
+func Of(vs ...any) string {
+	var b strings.Builder
+	for i, v := range vs {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		canonicalValue(reflect.ValueOf(v), &b)
+	}
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:16])
+}
+
+// Canonical returns the canonical encoding itself; tests and debugging
+// tools use it to see exactly what a fingerprint covers.
+func Canonical(v any) string {
+	var b strings.Builder
+	canonicalValue(reflect.ValueOf(v), &b)
+	return b.String()
+}
+
+// canonicalValue writes a deterministic, name-keyed rendering of v.
+// Structs encode as {name:value;...} with names sorted, so declaration
+// order never matters; maps sort their keys; slices and arrays keep
+// element order (it is semantically significant). Unexported fields are
+// skipped — a content address must only cover what callers can set.
+func canonicalValue(v reflect.Value, b *strings.Builder) {
+	if !v.IsValid() {
+		b.WriteString("nil")
+		return
+	}
+	switch v.Kind() {
+	case reflect.Bool:
+		b.WriteString(strconv.FormatBool(v.Bool()))
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		b.WriteString(strconv.FormatInt(v.Int(), 10))
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr:
+		b.WriteString(strconv.FormatUint(v.Uint(), 10))
+	case reflect.Float32, reflect.Float64:
+		b.WriteString(strconv.FormatFloat(v.Float(), 'g', -1, 64))
+	case reflect.String:
+		b.WriteString(strconv.Quote(v.String()))
+	case reflect.Pointer, reflect.Interface:
+		if v.IsNil() {
+			b.WriteString("nil")
+			return
+		}
+		canonicalValue(v.Elem(), b)
+	case reflect.Slice, reflect.Array:
+		b.WriteByte('[')
+		for i := 0; i < v.Len(); i++ {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			canonicalValue(v.Index(i), b)
+		}
+		b.WriteByte(']')
+	case reflect.Map:
+		keys := make([]string, 0, v.Len())
+		byKey := make(map[string]reflect.Value, v.Len())
+		for _, k := range v.MapKeys() {
+			var kb strings.Builder
+			canonicalValue(k, &kb)
+			keys = append(keys, kb.String())
+			byKey[kb.String()] = v.MapIndex(k)
+		}
+		sort.Strings(keys)
+		b.WriteString("map{")
+		for i, k := range keys {
+			if i > 0 {
+				b.WriteByte(';')
+			}
+			b.WriteString(k)
+			b.WriteByte(':')
+			canonicalValue(byKey[k], b)
+		}
+		b.WriteByte('}')
+	case reflect.Struct:
+		t := v.Type()
+		names := make([]string, 0, t.NumField())
+		for i := 0; i < t.NumField(); i++ {
+			if t.Field(i).IsExported() {
+				names = append(names, t.Field(i).Name)
+			}
+		}
+		sort.Strings(names)
+		b.WriteByte('{')
+		for i, name := range names {
+			if i > 0 {
+				b.WriteByte(';')
+			}
+			b.WriteString(name)
+			b.WriteByte(':')
+			f, _ := t.FieldByName(name)
+			canonicalValue(v.FieldByIndex(f.Index), b)
+		}
+		b.WriteByte('}')
+	default:
+		// Chan, Func, UnsafePointer: no meaningful content address. Render
+		// the kind so the fingerprint is still deterministic, but configs
+		// should never contain these.
+		fmt.Fprintf(b, "<%s>", v.Kind())
+	}
+}

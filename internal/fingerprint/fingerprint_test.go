@@ -1,0 +1,69 @@
+package fingerprint
+
+import "testing"
+
+// Two struct types with identical field names and values but different
+// declaration order: the content address must not see the difference.
+type orderedA struct {
+	Threads int
+	Name    string
+	Deep    struct {
+		X, Y int
+	}
+}
+
+type orderedB struct {
+	Deep struct {
+		Y, X int
+	}
+	Name    string
+	Threads int
+}
+
+func TestOfStableAcrossFieldReordering(t *testing.T) {
+	a := orderedA{Threads: 8, Name: "icount"}
+	a.Deep.X, a.Deep.Y = 3, 4
+	b := orderedB{Threads: 8, Name: "icount"}
+	b.Deep.X, b.Deep.Y = 3, 4
+	if Of(a) != Of(b) {
+		t.Fatalf("field order changed the fingerprint:\nA: %s\nB: %s", Canonical(a), Canonical(b))
+	}
+}
+
+func TestOfSeesEveryField(t *testing.T) {
+	base := orderedA{Threads: 8, Name: "icount"}
+	mutants := []orderedA{
+		{Threads: 7, Name: "icount"},
+		{Threads: 8, Name: "rr"},
+	}
+	for i, m := range mutants {
+		if Of(base) == Of(m) {
+			t.Errorf("mutant %d collided with base: %s", i, Canonical(m))
+		}
+	}
+	deep := base
+	deep.Deep.Y = 9
+	if Of(base) == Of(deep) {
+		t.Error("nested field change did not change the fingerprint")
+	}
+}
+
+func TestOfMapsAndSlices(t *testing.T) {
+	m1 := map[string]int{"a": 1, "b": 2, "c": 3}
+	m2 := map[string]int{"c": 3, "b": 2, "a": 1}
+	if Of(m1) != Of(m2) {
+		t.Fatal("map insertion order changed the fingerprint")
+	}
+	if Of([]int{1, 2}) == Of([]int{2, 1}) {
+		t.Fatal("slice order must be significant")
+	}
+}
+
+func TestOfMultipleValues(t *testing.T) {
+	if Of(1, 2) == Of(12) {
+		t.Fatal("value boundaries must be preserved")
+	}
+	if Of(1, 2) != Of(1, 2) {
+		t.Fatal("not deterministic")
+	}
+}

@@ -1,0 +1,67 @@
+package smt
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// TestConfigFingerprint: the content address must be deterministic,
+// sensitive to every machine-relevant field (nested subsystem configs
+// included), and stable across a JSON round trip — the path a config takes
+// through the smtd service.
+func TestConfigFingerprint(t *testing.T) {
+	base := DefaultConfig(8)
+	if base.Fingerprint() != DefaultConfig(8).Fingerprint() {
+		t.Fatal("fingerprint not deterministic")
+	}
+
+	mutate := map[string]func(*Config){
+		"threads":      func(c *Config) { c.Threads = 4 },
+		"fetch policy": func(c *Config) { c.FetchPolicy = FetchICount },
+		"fetch width":  func(c *Config) { c.FetchThreads = 2 },
+		"itag":         func(c *Config) { c.ITAG = true },
+		"iq size":      func(c *Config) { c.IQSize = 64 },
+		"nested regs":  func(c *Config) { c.Rename.ExcessRegs = 90 },
+		"nested btb":   func(c *Config) { c.Branch.BTBEntries *= 2 },
+		"nested mem":   func(c *Config) { c.Mem.InfiniteBW = true },
+	}
+	for name, mod := range mutate {
+		cfg := DefaultConfig(8)
+		mod(&cfg)
+		if cfg.Fingerprint() == base.Fingerprint() {
+			t.Errorf("%s change did not change the fingerprint", name)
+		}
+	}
+
+	var rt Config
+	raw, err := json.Marshal(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, &rt); err != nil {
+		t.Fatal(err)
+	}
+	if rt.Fingerprint() != base.Fingerprint() {
+		t.Fatal("JSON round trip changed the fingerprint")
+	}
+}
+
+// TestResultsFetchAvailabilityPartition: the five fetch-outcome fractions
+// must sum to 1 — the per-cycle accounting invariant surfaced through the
+// public Results schema.
+func TestResultsFetchAvailabilityPartition(t *testing.T) {
+	cfg := DefaultConfig(4)
+	cfg.FetchPolicy = FetchICount
+	cfg.FetchThreads = 2
+	sim := MustNew(cfg, WorkloadMix(4, 0, 3))
+	res := sim.Run(40_000)
+	sum := res.FetchCyclesFrac + res.FetchLostBackPressure + res.FetchLostNoThread +
+		res.FetchLostIMiss + res.FetchLostBankConflict
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("fetch availability fractions sum to %v, want 1\n%+v", sum, res)
+	}
+	if res.FetchCyclesFrac <= 0 {
+		t.Fatal("machine never fetched")
+	}
+}

@@ -189,6 +189,12 @@ func (s *Simulator) Results() Results {
 		OutOfRegisters:    st.OutOfRegFrac(),
 		AvgQueuePop:       st.AvgQueuePopulation(),
 		UsefulFetchPerCyc: st.UsefulFetchPerCycle(),
+
+		FetchCyclesFrac:       st.CycleFrac(st.FetchCycles),
+		FetchLostBackPressure: st.CycleFrac(st.FetchLostBackPressure),
+		FetchLostNoThread:     st.CycleFrac(st.FetchLostNoThread),
+		FetchLostIMiss:        st.CycleFrac(st.FetchLostIMiss),
+		FetchLostBankConflict: st.CycleFrac(st.FetchLostBankConflict),
 	}
 	for i, l := range []mem.Level{mem.L1I, mem.L1D, mem.L2, mem.L3} {
 		cs := m.CacheStats(l)
@@ -234,6 +240,16 @@ type Results struct {
 	AvgQueuePop    float64 `json:"avg_queue_pop"`
 
 	UsefulFetchPerCyc float64 `json:"useful_fetch_per_cycle"`
+
+	// Fetch availability: every cycle lands in exactly one of these five
+	// buckets (fractions of all cycles; they sum to 1), splitting lost
+	// fetch bandwidth by cause — the paper's "fetch throughput" bottleneck
+	// discussion around Table 3.
+	FetchCyclesFrac       float64 `json:"fetch_cycles_frac"`        // >=1 instruction delivered
+	FetchLostBackPressure float64 `json:"fetch_lost_back_pressure"` // decode latch occupied (IQ clog)
+	FetchLostNoThread     float64 `json:"fetch_lost_no_thread"`     // every thread stalled or I-missing
+	FetchLostIMiss        float64 `json:"fetch_lost_imiss"`         // selected thread missed in the I-cache
+	FetchLostBankConflict float64 `json:"fetch_lost_bank_conflict"` // lost to cache-fill bank conflicts
 
 	// Caches indexes L1I, L1D, L2, L3 in order.
 	Caches [4]CacheResult `json:"caches"`
