@@ -9,6 +9,8 @@
 //	experiments -experiment all
 //	experiments -experiment fig3,table3 -runs 4 -measure 100000
 //	experiments -experiment fig4 -parallel 8 -json > fig4.json
+//	experiments -policies
+//	experiments -fetch ICOUNT,ICOUNT+BRCOUNT -threads 8 -nfetch 2
 //
 // Output is bit-identical for every -parallel value: each simulation's seed
 // derives from its rotation index, never from scheduling order — and all
@@ -52,6 +54,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		measure    = fs.Int64("measure", 60000, "measured instructions per thread")
 		seed       = fs.Uint64("seed", 1, "workload seed")
 		cacheSize  = fs.Int("cache", 1024, "max job results reused across experiments (0 disables)")
+
+		// Ad-hoc policy comparison: any registered fetch policies —
+		// built-ins, composites, or custom registrations — head to head,
+		// without a registry preset.
+		fetchSweep = fs.String("fetch", "", "comma-separated registered fetch policies for an ad-hoc comparison (replaces -experiment; see -policies)")
+		issueAlg   = fs.String("issue", "OLDEST_FIRST", "issue policy for the -fetch comparison")
+		threads    = fs.Int("threads", 8, "max hardware contexts for the -fetch comparison")
+		nFetch     = fs.Int("nfetch", 2, "threads fetched per cycle for the -fetch comparison (num1)")
+		wFetch     = fs.Int("wfetch", 8, "max instructions per thread per cycle for the -fetch comparison (num2)")
+		policies   = fs.Bool("policies", false, "list registered fetch and issue policies and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
@@ -84,20 +96,95 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return 0
 	}
+	if *policies {
+		fmt.Fprintf(stdout, "fetch policies: %s\n", strings.Join(smt.FetchPolicies(), ", "))
+		fmt.Fprintf(stdout, "issue policies: %s\n", strings.Join(smt.IssuePolicies(), ", "))
+		return 0
+	}
 
 	expSet, runSet := false, false
+	var adhocOnly []string
 	fs.Visit(func(f *flag.Flag) {
 		switch f.Name {
 		case "experiment":
 			expSet = true
 		case "run":
 			runSet = true
+		case "issue", "threads", "nfetch", "wfetch":
+			adhocOnly = append(adhocOnly, "-"+f.Name)
 		}
 	})
 	if expSet && runSet {
 		fmt.Fprintln(stderr, "-experiment and -run are aliases; pass only one")
 		return 2
 	}
+	if *fetchSweep == "" && len(adhocOnly) > 0 {
+		// Registry experiments fix their own policies and thread counts;
+		// silently dropping these overrides would misattribute results.
+		fmt.Fprintf(stderr, "%s only apply to the -fetch ad-hoc comparison\n", strings.Join(adhocOnly, ", "))
+		return 2
+	}
+
+	o := exp.Opts{Runs: *runs, Warmup: *warmup, Measure: *measure, Seed: *seed}
+	runner := exp.Runner{Workers: *parallel}
+	if *cacheSize > 0 {
+		// One content-addressed store across every selected experiment:
+		// configurations shared between grids (baselines, repeated points)
+		// simulate once. Determinism makes reuse invisible in the output.
+		runner.Cache = cache.New[smt.Results](*cacheSize)
+	}
+
+	// emit routes every result — registry or ad-hoc — through one output
+	// contract: collected for the single JSON document, or printed as the
+	// paper lays it out.
+	var jsonResults []*exp.ExperimentResult
+	emit := func(res *exp.ExperimentResult, printer func(io.Writer, *exp.ExperimentResult)) {
+		if *jsonOut {
+			jsonResults = append(jsonResults, res)
+			return
+		}
+		fmt.Fprintf(stdout, "==== %s — %s ====\n", res.Experiment, res.Title)
+		printer(stdout, res)
+		fmt.Fprintln(stdout)
+	}
+	finish := func() int {
+		if *jsonOut {
+			// One valid JSON document however many experiments were selected.
+			enc := json.NewEncoder(stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(jsonResults); err != nil {
+				fmt.Fprintln(stderr, "experiments:", err)
+				return 1
+			}
+		}
+		return 0
+	}
+
+	if *fetchSweep != "" {
+		if expSet || runSet {
+			fmt.Fprintln(stderr, "-fetch runs an ad-hoc comparison and replaces -experiment/-run; pass only one")
+			return 2
+		}
+		var names []string
+		for _, n := range strings.Split(*fetchSweep, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+		e, err := exp.PolicyComparison(names, *issueAlg, *threads, *nFetch, *wFetch)
+		if err != nil {
+			fmt.Fprintln(stderr, "experiments:", err)
+			return 2
+		}
+		res, err := runner.RunExperiment(context.Background(), e, o)
+		if err != nil {
+			fmt.Fprintln(stderr, "experiments:", err)
+			return 1
+		}
+		emit(res, printSeries)
+		return finish()
+	}
+
 	sel := *experiment
 	if runSet {
 		sel = *runAlias
@@ -123,15 +210,6 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
-	o := exp.Opts{Runs: *runs, Warmup: *warmup, Measure: *measure, Seed: *seed}
-	runner := exp.Runner{Workers: *parallel}
-	if *cacheSize > 0 {
-		// One content-addressed store across every selected experiment:
-		// configurations shared between grids (baselines, repeated points)
-		// simulate once. Determinism makes reuse invisible in the output.
-		runner.Cache = cache.New[smt.Results](*cacheSize)
-	}
-	var jsonResults []*exp.ExperimentResult
 	for _, e := range exp.Experiments() {
 		if !all && !want[e.Name] {
 			continue
@@ -141,24 +219,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "experiments:", err)
 			return 1
 		}
-		if *jsonOut {
-			jsonResults = append(jsonResults, res)
-		} else {
-			fmt.Fprintf(stdout, "==== %s — %s ====\n", e.Name, e.Title)
-			printers[e.Name](stdout, res)
-			fmt.Fprintln(stdout)
-		}
+		emit(res, printers[e.Name])
 	}
-	if *jsonOut {
-		// One valid JSON document however many experiments were selected.
-		enc := json.NewEncoder(stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(jsonResults); err != nil {
-			fmt.Fprintln(stderr, "experiments:", err)
-			return 1
-		}
-	}
-	return 0
+	return finish()
 }
 
 // printers formats each experiment's engine result the way the paper lays

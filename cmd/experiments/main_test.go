@@ -305,3 +305,76 @@ func TestEveryExperimentHasAPrinter(t *testing.T) {
 		}
 	}
 }
+
+func TestPoliciesListing(t *testing.T) {
+	out, _, code := runCLI(t, "-policies")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{"ICOUNT", "ICOUNT+BRCOUNT", "ICOUNT+2MISSCOUNT", "OPT_LAST"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-policies output missing %s:\n%s", want, out)
+		}
+	}
+}
+
+// The -fetch flag runs an ad-hoc comparison of registered policies —
+// composites included — without a registry preset.
+func TestAdhocFetchSweep(t *testing.T) {
+	args := append([]string{"-fetch", "ICOUNT,ICOUNT+BRCOUNT", "-threads", "2", "-nfetch", "2"}, tiny...)
+	out, errOut, code := runCLI(t, args...)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errOut)
+	}
+	for _, want := range []string{"ICOUNT.2.8", "ICOUNT+BRCOUNT.2.8"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ad-hoc output missing series %s:\n%s", want, out)
+		}
+	}
+}
+
+func TestAdhocFetchSweepJSON(t *testing.T) {
+	args := append([]string{"-fetch", "ICOUNT,ICOUNT+2MISSCOUNT", "-threads", "2", "-json"}, tiny...)
+	out, errOut, code := runCLI(t, args...)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errOut)
+	}
+	var results []*exp.ExperimentResult
+	if err := json.Unmarshal([]byte(out), &results); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	if len(results) != 1 || results[0].Experiment != "adhoc" || len(results[0].Series) != 2 {
+		t.Fatalf("ad-hoc JSON shape: %+v", results)
+	}
+	for _, s := range results[0].Series {
+		for _, p := range s.Points {
+			if p.IPC <= 0 {
+				t.Errorf("series %s point %d has no throughput", s.Name, p.Threads)
+			}
+		}
+	}
+}
+
+func TestAdhocFetchConflictsWithExperiment(t *testing.T) {
+	_, errOut, code := runCLI(t, "-fetch", "ICOUNT", "-experiment", "fig3")
+	if code != 2 || !strings.Contains(errOut, "-fetch") {
+		t.Fatalf("exit %d, stderr %q", code, errOut)
+	}
+}
+
+func TestAdhocUnknownPolicyFails(t *testing.T) {
+	_, errOut, code := runCLI(t, "-fetch", "NOPE")
+	if code != 2 || !strings.Contains(errOut, "unknown fetch policy") {
+		t.Fatalf("exit %d, stderr %q", code, errOut)
+	}
+}
+
+func TestAdhocOnlyFlagsRequireFetch(t *testing.T) {
+	_, errOut, code := runCLI(t, "-experiment", "fig3", "-issue", "SPEC_LAST")
+	if code != 2 || !strings.Contains(errOut, "-issue") {
+		t.Fatalf("exit %d, stderr %q", code, errOut)
+	}
+	if _, errOut, code := runCLI(t, "-threads", "4"); code != 2 || !strings.Contains(errOut, "-threads") {
+		t.Fatalf("exit %d, stderr %q", code, errOut)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"sort"
 	"sync"
 
 	"repro/internal/cache"
@@ -38,14 +39,32 @@ type sweep struct {
 	id         string
 	experiment string
 	opts       exp.Opts
+	interval   int64  // snapshot cadence in cycles; 0 = job-granularity only
 	state      string // "running", "done", "failed"
 	totalJobs  int
 	doneJobs   int
 	cacheHits  int
-	resultJSON []byte // ExperimentResult.EncodeJSON bytes, once done
+	running    map[string]*jobProgress // in-flight jobs' latest snapshots
+	resultJSON []byte                  // ExperimentResult.EncodeJSON bytes, once done
 	errMsg     string
 	cancel     context.CancelFunc
 	done       chan struct{}
+}
+
+// jobProgress is the latest interval snapshot of one simulating job —
+// sub-job-granularity observability for long-running sweeps. Rates (IPC)
+// are cumulative over the job's measurement so far; DeltaIPC is the last
+// interval alone, which surfaces phase behavior a cumulative average hides.
+type jobProgress struct {
+	Point     int     `json:"point"`
+	Run       int     `json:"run"`
+	Series    string  `json:"series"`
+	Label     string  `json:"label"`
+	Snapshots int     `json:"snapshots"`
+	Cycles    int64   `json:"cycles"`
+	Committed int64   `json:"committed"`
+	IPC       float64 `json:"ipc"`
+	DeltaIPC  float64 `json:"delta_ipc"`
 }
 
 // defaultMaxHistory bounds how many finished sweeps (with their encoded
@@ -122,28 +141,38 @@ type gridPoint struct {
 }
 
 // sweepRequest is the body of POST /v1/sweep: a registry experiment by
-// name, or an inline config grid.
+// name, or an inline config grid. Grid configs carry fetch/issue policies
+// by registered name ("FetchPolicy": "ICOUNT+BRCOUNT"); the historical
+// numeric enum values are still accepted.
 type sweepRequest struct {
 	Experiment string      `json:"experiment,omitempty"`
 	Name       string      `json:"name,omitempty"` // inline-grid sweep name
 	Grid       []gridPoint `json:"grid,omitempty"`
 	Opts       *exp.Opts   `json:"opts,omitempty"` // nil means exp.DefaultOpts
 	Wait       bool        `json:"wait,omitempty"` // block until done
+	// IntervalCycles, when positive, streams each simulating job's
+	// progress at this cadence: GET /v1/jobs/{id} then reports per-job
+	// interval snapshots in `running` while the sweep executes.
+	IntervalCycles int64 `json:"interval_cycles,omitempty"`
 }
 
 // sweepStatus is the progress report for one sweep; GET /v1/jobs/{id}
 // serves it while jobs stream through the worker pool.
 type sweepStatus struct {
-	ID         string      `json:"id"`
-	Experiment string      `json:"experiment"`
-	Opts       exp.Opts    `json:"opts"`
-	State      string      `json:"state"`
-	TotalJobs  int         `json:"total_jobs"`
-	DoneJobs   int         `json:"done_jobs"`
-	CacheHits  int         `json:"cache_hits"`
-	Error      string      `json:"error,omitempty"`
-	ResultURL  string      `json:"result_url,omitempty"`
-	Cache      cache.Stats `json:"cache"`
+	ID         string   `json:"id"`
+	Experiment string   `json:"experiment"`
+	Opts       exp.Opts `json:"opts"`
+	// IntervalCycles echoes the sweep's streaming cadence (0 when the
+	// client did not request interval streaming).
+	IntervalCycles int64         `json:"interval_cycles,omitempty"`
+	State          string        `json:"state"`
+	TotalJobs      int           `json:"total_jobs"`
+	DoneJobs       int           `json:"done_jobs"`
+	CacheHits      int           `json:"cache_hits"`
+	Running        []jobProgress `json:"running,omitempty"` // interval streaming, in (point, run) order
+	Error          string        `json:"error,omitempty"`
+	ResultURL      string        `json:"result_url,omitempty"`
+	Cache          cache.Stats   `json:"cache"`
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
@@ -180,7 +209,12 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	sw := s.startSweep(e, o, len(jobs))
+	if req.IntervalCycles < 0 {
+		writeError(w, http.StatusBadRequest, "interval_cycles %d is negative; use 0 to disable interval streaming", req.IntervalCycles)
+		return
+	}
+
+	sw := s.startSweep(e, o, len(jobs), req.IntervalCycles)
 	if req.Wait {
 		<-sw.done
 	}
@@ -274,8 +308,9 @@ func validateOpts(o exp.Opts) error {
 }
 
 // startSweep registers the sweep and launches it on the engine. Progress
-// streams through the runner's per-job completion callback.
-func (s *Server) startSweep(e exp.Experiment, o exp.Opts, totalJobs int) *sweep {
+// streams through the runner's per-job completion callback and — when the
+// client asked for interval streaming — the per-interval snapshot callback.
+func (s *Server) startSweep(e exp.Experiment, o exp.Opts, totalJobs int, interval int64) *sweep {
 	ctx, cancel := context.WithCancel(context.Background())
 	s.mu.Lock()
 	s.nextID++
@@ -283,8 +318,10 @@ func (s *Server) startSweep(e exp.Experiment, o exp.Opts, totalJobs int) *sweep 
 		id:         fmt.Sprintf("sweep-%d", s.nextID),
 		experiment: e.Name,
 		opts:       o.Normalized(),
+		interval:   interval,
 		state:      "running",
 		totalJobs:  totalJobs,
+		running:    map[string]*jobProgress{},
 		cancel:     cancel,
 		done:       make(chan struct{}),
 	}
@@ -294,9 +331,10 @@ func (s *Server) startSweep(e exp.Experiment, o exp.Opts, totalJobs int) *sweep 
 	s.mu.Unlock()
 
 	runner := exp.Runner{
-		Workers: s.workers,
-		Cache:   s.flight,
-		Sem:     s.sem,
+		Workers:  s.workers,
+		Cache:    s.flight,
+		Sem:      s.sem,
+		Interval: interval,
 		OnJobDone: func(j exp.Job, r smt.Results, fromCache bool) {
 			s.mu.Lock()
 			defer s.mu.Unlock()
@@ -304,7 +342,24 @@ func (s *Server) startSweep(e exp.Experiment, o exp.Opts, totalJobs int) *sweep 
 			if fromCache {
 				sw.cacheHits++
 			}
+			delete(sw.running, jobKey(j))
 		},
+	}
+	if interval > 0 {
+		runner.OnSnapshot = func(j exp.Job, snap smt.Snapshot) {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			jp, ok := sw.running[jobKey(j)]
+			if !ok {
+				jp = &jobProgress{Point: j.Point, Run: j.Run, Series: j.Spec.Series, Label: j.Spec.Label}
+				sw.running[jobKey(j)] = jp
+			}
+			jp.Snapshots = snap.Index + 1
+			jp.Cycles = snap.Cycles
+			jp.Committed = snap.Cumulative.Committed
+			jp.IPC = snap.Cumulative.IPC
+			jp.DeltaIPC = snap.Delta.IPC
+		}
 	}
 	go func() {
 		defer close(sw.done)
@@ -361,18 +416,35 @@ func (s *Server) status(sw *sweep) sweepStatus {
 	return s.statusLocked(sw)
 }
 
+// jobKey identifies one (point, run) cell of a sweep's grid.
+func jobKey(j exp.Job) string { return fmt.Sprintf("p%d.r%d", j.Point, j.Run) }
+
 // statusLocked is status for callers already holding s.mu.
 func (s *Server) statusLocked(sw *sweep) sweepStatus {
 	st := sweepStatus{
-		ID:         sw.id,
-		Experiment: sw.experiment,
-		Opts:       sw.opts,
-		State:      sw.state,
-		TotalJobs:  sw.totalJobs,
-		DoneJobs:   sw.doneJobs,
-		CacheHits:  sw.cacheHits,
-		Error:      sw.errMsg,
-		Cache:      s.store.Stats(),
+		ID:             sw.id,
+		Experiment:     sw.experiment,
+		Opts:           sw.opts,
+		IntervalCycles: sw.interval,
+		State:          sw.state,
+		TotalJobs:      sw.totalJobs,
+		DoneJobs:       sw.doneJobs,
+		CacheHits:      sw.cacheHits,
+		Error:          sw.errMsg,
+		Cache:          s.store.Stats(),
+	}
+	if len(sw.running) > 0 {
+		st.Running = make([]jobProgress, 0, len(sw.running))
+		for _, jp := range sw.running {
+			st.Running = append(st.Running, *jp)
+		}
+		sort.Slice(st.Running, func(i, j int) bool {
+			a, b := st.Running[i], st.Running[j]
+			if a.Point != b.Point {
+				return a.Point < b.Point
+			}
+			return a.Run < b.Run
+		})
 	}
 	if sw.state == "done" {
 		st.ResultURL = "/v1/jobs/" + sw.id + "/result"

@@ -454,3 +454,124 @@ func TestSweepIDsAreSequential(t *testing.T) {
 		}
 	}
 }
+
+// Inline-grid configs carry policies by registered name — including the
+// composite policies beyond the paper — and an unregistered name is
+// rejected up front with the registry listing.
+func TestInlineGridPolicyNames(t *testing.T) {
+	ts := newTestService(t)
+	req := sweepRequest{
+		Name: "composite-mini",
+		Grid: []gridPoint{
+			{Series: "ICOUNT", Threads: 2,
+				Config: json.RawMessage(`{"FetchPolicy": "ICOUNT", "FetchThreads": 2}`)},
+			{Series: "HYBRID", Threads: 2,
+				Config: json.RawMessage(`{"FetchPolicy": "ICOUNT+BRCOUNT", "FetchThreads": 2}`)},
+		},
+		Opts: tinyOpts(),
+		Wait: true,
+	}
+	var st sweepStatus
+	if code := doJSON(t, "POST", ts.URL+"/v1/sweep", req, &st); code != 200 {
+		t.Fatalf("status %d: %+v", code, st)
+	}
+	if st.State != "done" || st.TotalJobs != 2 {
+		t.Fatalf("composite sweep: %+v", st)
+	}
+
+	var apiErr struct {
+		Error string `json:"error"`
+	}
+	bad := sweepRequest{
+		Grid: []gridPoint{{Threads: 2,
+			Config: json.RawMessage(`{"FetchPolicy": "NOT_A_POLICY"}`)}},
+		Opts: tinyOpts(),
+	}
+	if code := doJSON(t, "POST", ts.URL+"/v1/sweep", bad, &apiErr); code != 400 {
+		t.Fatalf("unknown policy accepted: status %d", code)
+	}
+	if !strings.Contains(apiErr.Error, "NOT_A_POLICY") {
+		t.Fatalf("error does not name the bad policy: %q", apiErr.Error)
+	}
+}
+
+// A sweep submitted with interval_cycles streams per-job progress through
+// GET /v1/jobs/{id} while it runs, and the streamed sweep's result bytes
+// equal a non-streamed sweep's.
+func TestSweepIntervalStreaming(t *testing.T) {
+	ts := newTestService(t)
+	o := &exp.Opts{Runs: 2, Warmup: 1_000, Measure: 40_000, Seed: 1}
+	grid := []gridPoint{{Series: "ICOUNT", Threads: 4,
+		Config: json.RawMessage(`{"FetchPolicy": "ICOUNT", "FetchThreads": 2}`)}}
+
+	var st sweepStatus
+	if code := doJSON(t, "POST", ts.URL+"/v1/sweep", sweepRequest{
+		Name: "streamed", Grid: grid, Opts: o, IntervalCycles: 200,
+	}, &st); code != 202 {
+		t.Fatalf("submit status %d: %+v", code, st)
+	}
+
+	sawRunning := false
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var cur sweepStatus
+		doJSON(t, "GET", ts.URL+"/v1/jobs/"+st.ID, nil, &cur)
+		for _, jp := range cur.Running {
+			sawRunning = true
+			if jp.Cycles <= 0 || jp.Snapshots <= 0 {
+				t.Fatalf("malformed interval progress: %+v", jp)
+			}
+			if jp.IPC <= 0 || jp.Committed <= 0 {
+				t.Fatalf("interval progress missing rates: %+v", jp)
+			}
+		}
+		if cur.State == "done" {
+			if len(cur.Running) != 0 {
+				t.Fatalf("finished sweep still reports running jobs: %+v", cur.Running)
+			}
+			st = cur
+			break
+		}
+		if cur.State == "failed" {
+			t.Fatalf("sweep failed: %s", cur.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sweep did not finish: %+v", cur)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !sawRunning {
+		t.Fatal("never observed interval progress while the sweep ran")
+	}
+
+	// Byte-identity with a fresh, non-streamed service (no cache sharing).
+	ts2 := newTestService(t)
+	var st2 sweepStatus
+	if code := doJSON(t, "POST", ts2.URL+"/v1/sweep", sweepRequest{
+		Name: "streamed", Grid: grid, Opts: o, Wait: true,
+	}, &st2); code != 200 {
+		t.Fatalf("plain submit status %d", code)
+	}
+	get := func(base, url string) string {
+		resp, err := http.Get(base + url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var b bytes.Buffer
+		b.ReadFrom(resp.Body)
+		return b.String()
+	}
+	if a, b := get(ts.URL, st.ResultURL), get(ts2.URL, st2.ResultURL); a != b {
+		t.Fatalf("streamed sweep result differs from plain sweep:\n%s\nvs\n%s", a, b)
+	}
+
+	var apiErr struct {
+		Error string `json:"error"`
+	}
+	if code := doJSON(t, "POST", ts.URL+"/v1/sweep", sweepRequest{
+		Experiment: "table3", Opts: tinyOpts(), IntervalCycles: -5,
+	}, &apiErr); code != 400 {
+		t.Fatalf("negative interval accepted: %d", code)
+	}
+}

@@ -29,10 +29,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	var (
 		threads     = fs.Int("threads", 8, "hardware contexts (1-8)")
-		fetchAlg    = fs.String("fetch", "RR", "fetch policy: RR, BRCOUNT, MISSCOUNT, ICOUNT, IQPOSN")
+		fetchAlg    = fs.String("fetch", "RR", "fetch policy: any registered name (RR, BRCOUNT, MISSCOUNT, ICOUNT, IQPOSN, ICOUNT+BRCOUNT, ...)")
 		nFetch      = fs.Int("nfetch", 1, "threads fetched per cycle (num1)")
 		wFetch      = fs.Int("wfetch", 8, "max instructions per thread per cycle (num2)")
-		issueAlg    = fs.String("issue", "OLDEST_FIRST", "issue policy: OLDEST_FIRST, OPT_LAST, SPEC_LAST, BRANCH_FIRST")
+		issueAlg    = fs.String("issue", "OLDEST_FIRST", "issue policy: any registered name (OLDEST_FIRST, OPT_LAST, SPEC_LAST, BRANCH_FIRST, ...)")
 		bigq        = fs.Bool("bigq", false, "double-size buffered instruction queues")
 		itag        = fs.Bool("itag", false, "early I-cache tag lookup")
 		superscalar = fs.Bool("superscalar", false, "unmodified superscalar baseline (forces 1 thread)")

@@ -61,7 +61,10 @@ type Config struct {
 	SMTPipeline bool
 
 	// Fetch unit: the paper's alg.num1.num2 notation maps to
-	// (FetchPolicy, FetchThreads, FetchPerThread).
+	// (FetchPolicy, FetchThreads, FetchPerThread). FetchPolicy names a
+	// registered fetch selector (built-in or caller-registered via
+	// policy.RegisterFetch / smt.RegisterFetchPolicy); Validate rejects
+	// names with no registration.
 	FetchPolicy    policy.FetchAlg
 	FetchThreads   int  // threads fetched per cycle (num1)
 	FetchPerThread int  // max instructions per thread per cycle (num2)
@@ -72,7 +75,7 @@ type Config struct {
 	IQSize int  // searchable entries per queue (32)
 	BigQ   bool // double-size buffered queues, searchable window IQSize (§5.3)
 
-	// Issue.
+	// Issue. IssuePolicy names a registered issue selector.
 	IssuePolicy policy.IssueAlg
 	IssueWidth  int  // max instructions issued per cycle (9)
 	IntUnits    int  // integer functional units (6)
@@ -152,6 +155,12 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: CommitWidth = %d", c.CommitWidth)
 	case c.DisambigBits < 1 || c.DisambigBits > 48:
 		return fmt.Errorf("core: DisambigBits = %d", c.DisambigBits)
+	}
+	if _, err := c.FetchPolicy.Selector(); err != nil {
+		return err
+	}
+	if _, err := c.IssuePolicy.Selector(); err != nil {
+		return err
 	}
 	if c.Rename.Threads != c.Threads || c.Branch.Threads != c.Threads {
 		return fmt.Errorf("core: rename/branch thread counts must match Threads")

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"repro/internal/isa"
-	"repro/internal/policy"
 )
 
 // fetchStage implements the fetch unit: thread selection under the
@@ -21,7 +20,7 @@ func (p *Processor) fetchStage() {
 	}
 
 	fb := p.buildFeedback()
-	order := policy.FetchOrder(p.cfg.FetchPolicy, p.rrBase, fb, p.orderBuf)
+	order := p.fetchSel.Order(p.rrBase, fb, p.orderBuf)
 	p.orderBuf = order
 	p.rrBase++
 

@@ -59,17 +59,29 @@ func (p *Processor) issueStage() {
 	}
 	p.candBuf = cands
 
-	alg := p.cfg.IssuePolicy
-	if alg == policy.OptLast {
-		// OPT_LAST orders on the optimism estimate at selection time.
+	if p.issueNeedOpt {
+		// The selector orders on the optimism estimate at selection time
+		// (OPT_LAST among the built-ins).
 		for i := range cands {
 			c := &cands[i]
 			c.info.Optimistic = p.srcAtRisk(p.srcFile(c.d.si.Src1), c.d.src1Phys) ||
 				p.srcAtRisk(p.srcFile(c.d.si.Src2), c.d.src2Phys)
 		}
 	}
-	if alg != policy.OldestFirst {
-		p.partBuf = partitionByPolicy(cands, alg, p.partBuf[:0])
+	switch sel := p.issueSel.(type) {
+	case policy.OrderNeutral:
+		// Pure age order (OLDEST_FIRST): the merged list is already sorted.
+	case policy.IssuePartitioner:
+		// The paper's non-default policies: one stable boolean partition of
+		// the age-sorted list, O(n).
+		p.partBuf = partitionBySelector(cands, sel, p.partBuf[:0])
+	default:
+		// Custom selectors order through their full comparison; the stable
+		// sort keeps equal candidates in age order, so tie behavior matches
+		// the built-ins.
+		sort.SliceStable(cands, func(i, j int) bool {
+			return p.issueSel.Less(cands[i].info, cands[j].info)
+		})
 	}
 
 	var intUsed, ldstUsed, fpUsed, total int
@@ -284,32 +296,20 @@ func (p *Processor) newCandidate(d *dyn, q *iq.Queue[*dyn], pos int, specSeq []i
 	}
 }
 
-// partitionByPolicy stably reorders an age-sorted candidate list in place
-// for the non-default issue policies, each of which is a single boolean
-// partition with oldest-first tie-breaking (Section 6). It returns the
-// scratch buffer (grown as needed) for the caller to reuse; the scratch
-// must not alias cands.
-func partitionByPolicy(cands []candidate, alg policy.IssueAlg, buf []candidate) []candidate {
-	first := func(c *candidate) bool {
-		switch alg {
-		case policy.OptLast:
-			return !c.info.Optimistic
-		case policy.SpecLast:
-			return !c.info.Speculative
-		case policy.BranchFirst:
-			return c.info.Branch
-		default:
-			return true
-		}
-	}
+// partitionBySelector stably reorders an age-sorted candidate list in place
+// for selectors whose order is a single boolean partition with oldest-first
+// tie-breaking (Section 6's non-default policies). It returns the scratch
+// buffer (grown as needed) for the caller to reuse; the scratch must not
+// alias cands.
+func partitionBySelector(cands []candidate, sel policy.IssuePartitioner, buf []candidate) []candidate {
 	out := buf
 	for i := range cands {
-		if first(&cands[i]) {
+		if sel.First(cands[i].info) {
 			out = append(out, cands[i])
 		}
 	}
 	for i := range cands {
-		if !first(&cands[i]) {
+		if !sel.First(cands[i].info) {
 			out = append(out, cands[i])
 		}
 	}

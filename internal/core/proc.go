@@ -41,6 +41,13 @@ type Processor struct {
 	cfg   Config
 	cycle int64
 
+	// Policy selectors, resolved from their registered names once at
+	// construction; the per-cycle stages call them directly.
+	fetchSel      policy.FetchSelector
+	issueSel      policy.IssueSelector
+	fetchNeedPosn bool // fetchSel reads ThreadFeedback.IQPosn
+	issueNeedOpt  bool // issueSel reads IssueInfo.Optimistic
+
 	pred *branch.Predictor
 	mem  *mem.Hierarchy
 	ren  *rename.Renamer
@@ -105,21 +112,33 @@ func New(cfg Config, programs []*workload.Program) (*Processor, error) {
 	if err != nil {
 		return nil, err
 	}
+	fetchSel, err := cfg.FetchPolicy.Selector()
+	if err != nil {
+		return nil, err
+	}
+	issueSel, err := cfg.IssuePolicy.Selector()
+	if err != nil {
+		return nil, err
+	}
 	capScale := 1
 	if cfg.BigQ {
 		capScale = 2
 	}
 	p := &Processor{
-		cfg:         cfg,
-		pred:        pred,
-		mem:         hier,
-		ren:         ren,
-		intQ:        iq.New[*dyn](cfg.IQSize*capScale, cfg.IQSize),
-		fpQ:         iq.New[*dyn](cfg.IQSize*capScale, cfg.IQSize),
-		intProducer: make([]*dyn, cfg.Rename.PhysPerFile()),
-		fpProducer:  make([]*dyn, cfg.Rename.PhysPerFile()),
-		fbBuf:       make([]policy.ThreadFeedback, cfg.Threads),
-		orderBuf:    make([]int, 0, cfg.Threads),
+		cfg:           cfg,
+		fetchSel:      fetchSel,
+		issueSel:      issueSel,
+		fetchNeedPosn: policy.ReadsQueuePositions(fetchSel),
+		issueNeedOpt:  policy.ReadsOptimism(issueSel),
+		pred:          pred,
+		mem:           hier,
+		ren:           ren,
+		intQ:          iq.New[*dyn](cfg.IQSize*capScale, cfg.IQSize),
+		fpQ:           iq.New[*dyn](cfg.IQSize*capScale, cfg.IQSize),
+		intProducer:   make([]*dyn, cfg.Rename.PhysPerFile()),
+		fpProducer:    make([]*dyn, cfg.Rename.PhysPerFile()),
+		fbBuf:         make([]policy.ThreadFeedback, cfg.Threads),
+		orderBuf:      make([]int, 0, cfg.Threads),
 	}
 	p.events.init()
 	p.stats.CommittedByThread = make([]int64, cfg.Threads)
@@ -159,6 +178,10 @@ func (p *Processor) Mem() *mem.Hierarchy { return p.mem }
 
 // Cycle returns the current cycle number.
 func (p *Processor) Cycle() int64 { return p.cycle }
+
+// Committed returns the committed-instruction count without snapshotting
+// the full counter set; run loops poll it every cycle.
+func (p *Processor) Committed() int64 { return p.stats.Committed }
 
 // ResetStats zeroes the statistics counters (memory-hierarchy counters
 // included) without disturbing machine state; use it to exclude warmup.
@@ -233,7 +256,7 @@ func (p *Processor) buildFeedback() []policy.ThreadFeedback {
 			IQPosn:    noQueuePosn,
 		}
 	}
-	if p.cfg.FetchPolicy == policy.IQPosn {
+	if p.fetchNeedPosn {
 		p.scanQueuePositions()
 	}
 	return p.fbBuf

@@ -1,5 +1,10 @@
 package core
 
+import (
+	"fmt"
+	"reflect"
+)
+
 // Stats aggregates everything the paper's tables and figures report. All
 // counters are cumulative from construction (or the last ResetStats).
 type Stats struct {
@@ -47,6 +52,47 @@ type Stats struct {
 	// Per-thread squash accounting.
 	SquashedInstructions int64
 	Mispredicts          int64 // exec-redirect squashes (wrong paths entered)
+}
+
+// Sub returns the counter-wise difference s - base: the statistics of the
+// interval between two snapshots of the same run. It walks the struct
+// reflectively so new counters are covered automatically; every derived
+// rate (IPC, CycleFrac, ...) then works on an interval the same way it
+// works on a whole run. A zero base returns a copy of s.
+func (s Stats) Sub(base Stats) Stats {
+	out := s
+	va := reflect.ValueOf(s)
+	vb := reflect.ValueOf(base)
+	vo := reflect.ValueOf(&out).Elem()
+	for i := 0; i < va.NumField(); i++ {
+		switch f := va.Field(i); f.Kind() {
+		case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+			vo.Field(i).SetInt(f.Int() - vb.Field(i).Int())
+		case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+			vo.Field(i).SetUint(f.Uint() - vb.Field(i).Uint())
+		case reflect.Float32, reflect.Float64:
+			vo.Field(i).SetFloat(f.Float() - vb.Field(i).Float())
+		case reflect.Slice:
+			n := f.Len()
+			ns := reflect.MakeSlice(f.Type(), n, n)
+			bf := vb.Field(i)
+			for j := 0; j < n; j++ {
+				var bv int64
+				if j < bf.Len() {
+					bv = bf.Index(j).Int()
+				}
+				ns.Index(j).SetInt(f.Index(j).Int() - bv)
+			}
+			vo.Field(i).Set(ns)
+		default:
+			// A kind this walk cannot subtract would silently leave the
+			// cumulative value in interval deltas; fail loudly instead so
+			// the new counter's author extends Sub.
+			panic(fmt.Sprintf("core: Stats.Sub cannot subtract field %s (kind %s)",
+				reflect.TypeOf(s).Field(i).Name, f.Kind()))
+		}
+	}
+	return out
 }
 
 // IPC returns committed instructions per cycle.

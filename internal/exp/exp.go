@@ -42,10 +42,6 @@ func (o Opts) Normalized() Opts {
 	return o
 }
 
-// normalized is the historical unexported spelling, kept for the package's
-// internal call sites.
-func (o Opts) normalized() Opts { return o.Normalized() }
-
 // Point is one measured machine configuration.
 type Point struct {
 	Label   string      `json:"label"`
@@ -57,11 +53,11 @@ type Point struct {
 // Measure runs cfg under the standard methodology and returns the averaged
 // IPC and the aggregate results of the last run (for low-level metrics).
 func Measure(cfg smt.Config, o Opts) Point {
-	o = o.normalized()
+	o = o.Normalized()
 	var ipcSum float64
 	var last smt.Results
 	for run := 0; run < o.Runs; run++ {
-		res := runOne(cfg, run, JobSeed(o.Seed, run), o)
+		res := runOne(cfg, run, JobSeed(o.Seed, run), o, 0, nil)
 		ipcSum += res.IPC
 		last = res
 	}
@@ -74,22 +70,14 @@ func Measure(cfg smt.Config, o Opts) Point {
 }
 
 // FetchSchemeConfig builds the paper's alg.num1.num2 fetch configurations.
+// alg is any registered fetch policy name — built-in, composite, or
+// caller-registered.
 func FetchSchemeConfig(threads int, alg string, num1, num2 int) (smt.Config, error) {
 	cfg := smt.DefaultConfig(threads)
-	switch alg {
-	case "RR":
-		cfg.FetchPolicy = smt.FetchRR
-	case "BRCOUNT":
-		cfg.FetchPolicy = smt.FetchBRCount
-	case "MISSCOUNT":
-		cfg.FetchPolicy = smt.FetchMissCount
-	case "ICOUNT":
-		cfg.FetchPolicy = smt.FetchICount
-	case "IQPOSN":
-		cfg.FetchPolicy = smt.FetchIQPosn
-	default:
-		return cfg, fmt.Errorf("exp: unknown fetch algorithm %q", alg)
+	if _, ok := smt.LookupFetchPolicy(alg); !ok {
+		return cfg, fmt.Errorf("exp: unknown fetch policy %q (registered: %v)", alg, smt.FetchPolicies())
 	}
+	cfg.FetchPolicy = smt.FetchAlg(alg)
 	if num1 > threads {
 		num1 = threads
 	}

@@ -1,0 +1,76 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/smt"
+)
+
+// PolicyComparison builds an ad-hoc experiment comparing registered fetch
+// policies head-to-head under one issue policy and one num1.num2 fetch
+// partitioning, across the paper's standard thread counts up to
+// maxThreads. It is how custom (caller-registered) policies enter the
+// engine without a registry preset: one series per fetch policy, the
+// paper's paired methodology (shared rotations and seeds per point)
+// applying as in every other experiment, and every job content-addressed
+// by policy name through the usual cache key.
+func PolicyComparison(fetch []string, issue string, maxThreads, num1, num2 int) (Experiment, error) {
+	if len(fetch) == 0 {
+		return Experiment{}, fmt.Errorf("exp: policy comparison needs at least one fetch policy")
+	}
+	if maxThreads < 1 {
+		return Experiment{}, fmt.Errorf("exp: policy comparison maxThreads = %d, want >= 1", maxThreads)
+	}
+	if num1 < 1 || num2 < 1 {
+		return Experiment{}, fmt.Errorf("exp: policy comparison fetch partitioning %d.%d, both must be >= 1", num1, num2)
+	}
+	if issue == "" {
+		issue = string(smt.IssueOldestFirst)
+	}
+	if _, ok := smt.LookupIssuePolicy(issue); !ok {
+		return Experiment{}, fmt.Errorf("exp: unknown issue policy %q (registered: %v)", issue, smt.IssuePolicies())
+	}
+	seen := map[string]bool{}
+	for _, name := range fetch {
+		if _, ok := smt.LookupFetchPolicy(name); !ok {
+			return Experiment{}, fmt.Errorf("exp: unknown fetch policy %q (registered: %v)", name, smt.FetchPolicies())
+		}
+		if seen[name] {
+			return Experiment{}, fmt.Errorf("exp: fetch policy %q listed twice", name)
+		}
+		seen[name] = true
+	}
+	// The paper's standard sweep points up to (and always including) the
+	// requested maximum, so asking for e.g. 5 contexts measures 5 contexts.
+	threads := make([]int, 0, len(ThreadCounts)+1)
+	for _, t := range ThreadCounts {
+		if t < maxThreads {
+			threads = append(threads, t)
+		}
+	}
+	threads = append(threads, maxThreads)
+	fetchNames := append([]string(nil), fetch...)
+	mk := func(name string, t int) smt.Config {
+		cfg, err := FetchSchemeConfig(t, name, num1, num2)
+		if err != nil {
+			panic(err) // unreachable: names validated above
+		}
+		cfg.IssuePolicy = smt.IssueAlg(issue)
+		return cfg
+	}
+	return Experiment{
+		Name:  "adhoc",
+		Title: fmt.Sprintf("ad-hoc fetch policy comparison (%d policies, issue %s)", len(fetchNames), issue),
+		Shape: Shape{Series: len(fetchNames), Points: len(fetchNames) * len(threads)},
+		Points: func() []PointSpec {
+			pts := make([]PointSpec, 0, len(fetchNames)*len(threads))
+			for _, name := range fetchNames {
+				series := fmt.Sprintf("%s.%d.%d", name, num1, num2)
+				pts = append(pts, seriesOf(series, threads, func(t int) smt.Config {
+					return mk(name, t)
+				})...)
+			}
+			return pts
+		},
+	}, nil
+}

@@ -39,7 +39,7 @@ func JobSeed(base uint64, run int) uint64 {
 // so the same configuration appearing in two different grids shares one
 // cache entry.
 func (j Job) Key(o Opts) string {
-	o = o.normalized()
+	o = o.Normalized()
 	return fmt.Sprintf("%s:r%d:s%d:w%d:m%d",
 		j.Spec.Config.Fingerprint(), j.Run, JobSeed(o.Seed, j.Run), o.Warmup, o.Measure)
 }
@@ -54,15 +54,34 @@ type JobCache interface {
 }
 
 // runOne is the shared measurement kernel: build the machine, warm it, and
-// measure. Every path into the simulator (serial Measure, parallel runner)
-// funnels through here so budgets and methodology cannot drift apart.
-func runOne(cfg smt.Config, rotate int, seed uint64, o Opts) smt.Results {
+// measure — as one streaming run session. Every path into the simulator
+// (serial Measure, parallel runner) funnels through here so budgets and
+// methodology cannot drift apart. interval > 0 forwards per-interval
+// snapshots to onSnap while the simulation advances; the streamed final
+// results are byte-identical to a blocking run, so streaming is invisible
+// to callers that only consume the return value.
+func runOne(cfg smt.Config, rotate int, seed uint64, o Opts, interval int64, onSnap func(smt.Snapshot)) smt.Results {
 	spec := smt.WorkloadMix(cfg.Threads, rotate, seed)
 	sim := smt.MustNew(cfg, spec)
-	if o.Warmup > 0 {
-		sim.Warmup(o.Warmup * int64(cfg.Threads))
+	warmup := o.Warmup
+	if warmup < 0 {
+		warmup = 0 // historical behavior: a negative warmup skips warmup
 	}
-	return sim.Run(o.Measure * int64(cfg.Threads))
+	sess, err := sim.Start(context.Background(), smt.RunSpec{
+		Warmup:         warmup * int64(cfg.Threads),
+		Instructions:   o.Measure * int64(cfg.Threads),
+		IntervalCycles: interval,
+	})
+	if err != nil {
+		panic(err) // unreachable: the simulator is freshly built and idle
+	}
+	for snap := range sess.Snapshots() {
+		if onSnap != nil {
+			onSnap(snap)
+		}
+	}
+	res, _ := sess.Finish()
+	return res
 }
 
 // Runner executes experiment grids across a bounded worker pool.
@@ -81,6 +100,19 @@ type Runner struct {
 	// goroutines, possibly concurrently and in any order; implementations
 	// must synchronize their own state.
 	OnJobDone func(j Job, r smt.Results, fromCache bool)
+
+	// Interval, when positive, streams interval snapshots from every
+	// simulated job: the job runs as a streaming session emitting a
+	// smt.Snapshot every Interval cycles, each forwarded to OnSnapshot.
+	// Cache hits produce no snapshots (nothing simulates). Streaming never
+	// changes results — a job's final streamed results are byte-identical
+	// to its blocking results.
+	Interval int64
+
+	// OnSnapshot, when non-nil (and Interval is positive), observes every
+	// interval snapshot of every simulating job. Like OnJobDone it is
+	// called from worker goroutines; implementations must synchronize.
+	OnSnapshot func(j Job, s smt.Snapshot)
 
 	// Sem, when non-nil, is a counting semaphore bounding concurrent
 	// simulations across every Runner sharing it. A multi-tenant caller
@@ -102,7 +134,7 @@ func (r Runner) workers() int {
 // Jobs expands an experiment grid into its (point, rotation) job list in
 // deterministic order: all rotations of point 0, then point 1, and so on.
 func Jobs(e Experiment, o Opts) ([]Job, error) {
-	o = o.normalized()
+	o = o.Normalized()
 	grid, err := e.Grid()
 	if err != nil {
 		return nil, err
@@ -125,7 +157,7 @@ func Jobs(e Experiment, o Opts) ([]Job, error) {
 // Cancelling ctx stops the run between jobs (an in-flight simulation
 // finishes its budget first) and returns ctx's error.
 func (r Runner) RunExperiment(ctx context.Context, e Experiment, o Opts) (*ExperimentResult, error) {
-	o = o.normalized()
+	o = o.Normalized()
 	jobs, err := Jobs(e, o)
 	if err != nil {
 		return nil, err
@@ -187,7 +219,15 @@ func (r Runner) runJob(j Job, o Opts) smt.Results {
 		r.Sem <- struct{}{}
 		defer func() { <-r.Sem }()
 	}
-	res := runOne(j.Spec.Config, j.Run, JobSeed(o.Seed, j.Run), o)
+	interval := r.Interval
+	if interval < 0 {
+		interval = 0 // tolerate nonsense the way Opts normalization does
+	}
+	var onSnap func(smt.Snapshot)
+	if interval > 0 && r.OnSnapshot != nil {
+		onSnap = func(s smt.Snapshot) { r.OnSnapshot(j, s) }
+	}
+	res := runOne(j.Spec.Config, j.Run, JobSeed(o.Seed, j.Run), o, interval, onSnap)
 	if r.Cache != nil {
 		r.Cache.Put(key, res)
 	}

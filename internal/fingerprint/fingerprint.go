@@ -43,15 +43,35 @@ func Canonical(v any) string {
 	return b.String()
 }
 
+// Canonicaler lets a type override its canonical rendering. The override
+// exists for encoding stability: a type whose Go representation changes
+// (e.g. the policy enums becoming registered names) implements it to keep
+// emitting its historical encoding, so previously computed fingerprints —
+// and every cache key derived from them — remain valid.
+type Canonicaler interface {
+	CanonicalFingerprint() string
+}
+
 // canonicalValue writes a deterministic, name-keyed rendering of v.
 // Structs encode as {name:value;...} with names sorted, so declaration
 // order never matters; maps sort their keys; slices and arrays keep
 // element order (it is semantically significant). Unexported fields are
 // skipped — a content address must only cover what callers can set.
+// Types implementing Canonicaler render through it instead.
 func canonicalValue(v reflect.Value, b *strings.Builder) {
 	if !v.IsValid() {
 		b.WriteString("nil")
 		return
+	}
+	if (v.Kind() == reflect.Pointer || v.Kind() == reflect.Interface) && v.IsNil() {
+		b.WriteString("nil")
+		return
+	}
+	if v.CanInterface() {
+		if c, ok := v.Interface().(Canonicaler); ok {
+			b.WriteString(c.CanonicalFingerprint())
+			return
+		}
 	}
 	switch v.Kind() {
 	case reflect.Bool:

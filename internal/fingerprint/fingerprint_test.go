@@ -67,3 +67,27 @@ func TestOfMultipleValues(t *testing.T) {
 		t.Fatal("not deterministic")
 	}
 }
+
+type legacyCoded string
+
+func (l legacyCoded) CanonicalFingerprint() string { return "7" }
+
+type holder struct {
+	Policy legacyCoded
+	Width  int
+}
+
+// Canonicaler overrides must apply wherever the value appears — top level
+// or nested in a struct — so types can freeze their historical encoding.
+func TestCanonicalerOverride(t *testing.T) {
+	if got := Canonical(legacyCoded("ICOUNT")); got != "7" {
+		t.Fatalf("top-level override = %q", got)
+	}
+	if got := Canonical(holder{Policy: "ICOUNT", Width: 8}); got != "{Policy:7;Width:8}" {
+		t.Fatalf("nested override = %q", got)
+	}
+	// The override participates in the hash like any other encoding.
+	if Of(holder{Policy: "A"}) != Of(holder{Policy: "B"}) {
+		t.Fatal("overridden values with equal encodings must hash equal")
+	}
+}

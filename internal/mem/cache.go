@@ -91,6 +91,18 @@ func (s Stats) MissRate() float64 {
 	return float64(s.Misses) / float64(s.Accesses)
 }
 
+// Sub returns the counter-wise difference s - base: the statistics of the
+// interval between two snapshots of the same cache. Every field of Stats
+// must be subtracted here — streaming interval deltas flow through Sub, so
+// a field this misses would silently report cumulative values per interval.
+func (s Stats) Sub(base Stats) Stats {
+	return Stats{
+		Accesses: s.Accesses - base.Accesses,
+		Misses:   s.Misses - base.Misses,
+		Merged:   s.Merged - base.Merged,
+	}
+}
+
 // line is one cache line's tag state.
 type line struct {
 	valid bool

@@ -1,0 +1,44 @@
+package policy
+
+// Built-in registrations: the paper's five fetch and four issue policies,
+// plus the two composite fetch policies. Everything the enum constants
+// name resolves here, so a Config carrying a built-in name behaves exactly
+// as the pre-registry enum dispatch did.
+func init() {
+	// Section 5.2 fetch policies. Each comparison reproduces the historical
+	// key ordering: smaller counter first, ties round-robin (the stable
+	// sort over the rotation order).
+	MustRegisterFetch(NewFetchSelector(string(RR), nil, false))
+	MustRegisterFetch(NewFetchSelector(string(BRCount), func(a, b ThreadFeedback) bool {
+		return a.BrCount < b.BrCount
+	}, false))
+	MustRegisterFetch(NewFetchSelector(string(MissCount), func(a, b ThreadFeedback) bool {
+		return a.MissCount < b.MissCount
+	}, false))
+	MustRegisterFetch(NewFetchSelector(string(ICount), func(a, b ThreadFeedback) bool {
+		return a.ICount < b.ICount
+	}, false))
+	MustRegisterFetch(NewFetchSelector(string(IQPosn), func(a, b ThreadFeedback) bool {
+		return a.IQPosn > b.IQPosn // farthest from the head first
+	}, true))
+
+	// Composite fetch policies beyond the paper.
+	MustRegisterFetch(NewFetchSelector(string(ICountBRCount), func(a, b ThreadFeedback) bool {
+		if a.ICount != b.ICount {
+			return a.ICount < b.ICount
+		}
+		return a.BrCount < b.BrCount
+	}, false))
+	MustRegisterFetch(NewFetchSelector(string(ICountWeightedMiss), func(a, b ThreadFeedback) bool {
+		return a.ICount+2*a.MissCount < b.ICount+2*b.MissCount
+	}, false))
+
+	// Section 6 issue policies.
+	MustRegisterIssue(oldestFirst{})
+	MustRegisterIssue(&flagIssue{name: string(OptLast), opt: true,
+		first: func(i IssueInfo) bool { return !i.Optimistic }})
+	MustRegisterIssue(&flagIssue{name: string(SpecLast),
+		first: func(i IssueInfo) bool { return !i.Speculative }})
+	MustRegisterIssue(&flagIssue{name: string(BranchFirst),
+		first: func(i IssueInfo) bool { return i.Branch }})
+}

@@ -1,5 +1,6 @@
 // Package policy implements the paper's fetch and issue selection
-// heuristics — the "exploiting choice" of the title.
+// heuristics — the "exploiting choice" of the title — as pluggable,
+// name-registered strategies.
 //
 // Fetch policies (Section 5.2) order the hardware contexts by desirability
 // each cycle, using feedback counters the core maintains:
@@ -18,43 +19,116 @@
 //	OPT_LAST      optimistically issued instructions after all others
 //	SPEC_LAST     speculative instructions after all others
 //	BRANCH_FIRST  branches as early as possible
+//
+// Beyond the paper, two composite policies ship registered by default —
+// ICOUNT+BRCOUNT (ICOUNT with unresolved-branch tie-break) and
+// ICOUNT+2MISSCOUNT (instruction count weighted by outstanding misses) —
+// and callers can register their own with RegisterFetch / RegisterIssue
+// (or smt.RegisterFetchPolicy / smt.RegisterIssuePolicy from outside the
+// module's internals). A policy is addressed everywhere — configs, JSON,
+// CLI flags, the result cache — by its registered name.
 package policy
 
 import (
+	"encoding/json"
 	"fmt"
-	"sort"
+	"strconv"
 )
 
-// FetchAlg enumerates the fetch thread-choice heuristics.
-type FetchAlg uint8
+// FetchAlg names a registered fetch thread-choice policy. The zero value
+// resolves to round-robin. The historical enum constants (RR, ICount, ...)
+// are now names, so existing code assigning or comparing them is unchanged.
+type FetchAlg string
 
 // Fetch policies from Section 5.2 of the paper.
 const (
-	RR FetchAlg = iota
-	BRCount
-	MissCount
-	ICount
-	IQPosn
+	RR        FetchAlg = "RR"
+	BRCount   FetchAlg = "BRCOUNT"
+	MissCount FetchAlg = "MISSCOUNT"
+	ICount    FetchAlg = "ICOUNT"
+	IQPosn    FetchAlg = "IQPOSN"
 )
 
-var fetchNames = [...]string{"RR", "BRCOUNT", "MISSCOUNT", "ICOUNT", "IQPOSN"}
+// Composite fetch policies beyond the paper, proving the extension point.
+const (
+	// ICountBRCount is ICOUNT with ties broken by fewest unresolved
+	// branches — the hybrid the paper hints at when it notes BRCOUNT's
+	// wrong-path avoidance is complementary to ICOUNT's clog avoidance.
+	ICountBRCount FetchAlg = "ICOUNT+BRCOUNT"
+	// ICountWeightedMiss orders threads by ICount + 2*MissCount: a thread's
+	// outstanding D-cache misses predict instructions about to clog the
+	// queues, so they are charged ahead of time at double weight.
+	ICountWeightedMiss FetchAlg = "ICOUNT+2MISSCOUNT"
+)
 
-// String returns the paper's name for the policy.
+// fetchLegacy maps the historical uint8 enum values (still accepted in
+// JSON) to names, in their original declaration order. Index == old value.
+var fetchLegacy = [...]FetchAlg{RR, BRCount, MissCount, ICount, IQPosn}
+
+// String returns the policy's registered name ("RR" for the zero value).
 func (a FetchAlg) String() string {
-	if int(a) < len(fetchNames) {
-		return fetchNames[a]
+	if a == "" {
+		return string(RR)
 	}
-	return fmt.Sprintf("fetch(%d)", uint8(a))
+	return string(a)
 }
 
-// ParseFetchAlg resolves a policy name (as printed by String).
-func ParseFetchAlg(s string) (FetchAlg, error) {
-	for i, n := range fetchNames {
-		if n == s {
-			return FetchAlg(i), nil
+// Selector resolves the name against the fetch registry.
+func (a FetchAlg) Selector() (FetchSelector, error) {
+	if s, ok := LookupFetch(a.String()); ok {
+		return s, nil
+	}
+	return nil, fmt.Errorf("policy: unknown fetch policy %q (have %v)", a.String(), FetchNames())
+}
+
+// MarshalJSON encodes the policy as its name.
+func (a FetchAlg) MarshalJSON() ([]byte, error) { return json.Marshal(a.String()) }
+
+// UnmarshalJSON accepts a policy name, or the historical numeric enum value
+// (pre-registry clients sent {"FetchPolicy": 3} for ICOUNT). Name existence
+// is checked at Config.Validate, not here, so configs can be decoded before
+// their policies are registered.
+func (a *FetchAlg) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err == nil {
+		*a = FetchAlg(s)
+		return nil
+	}
+	var n int
+	if err := json.Unmarshal(b, &n); err == nil {
+		if n < 0 || n >= len(fetchLegacy) {
+			return fmt.Errorf("policy: legacy fetch policy index %d out of range [0,%d]", n, len(fetchLegacy)-1)
+		}
+		*a = fetchLegacy[n]
+		return nil
+	}
+	return fmt.Errorf("policy: fetch policy must be a name or legacy index, got %s", b)
+}
+
+// CanonicalFingerprint renders the policy for content addressing
+// (fingerprint.Canonicaler). The paper's built-ins keep their historical
+// uint8 encoding so every pre-registry fingerprint — and therefore every
+// cached result key — survives the redesign; other policies are addressed
+// by quoted name, which cannot collide with a bare digit.
+func (a FetchAlg) CanonicalFingerprint() string {
+	for i, n := range fetchLegacy {
+		if n == a {
+			return strconv.Itoa(i)
 		}
 	}
-	return 0, fmt.Errorf("policy: unknown fetch policy %q (have %v)", s, fetchNames[:])
+	if a == "" {
+		return "0" // zero value is RR
+	}
+	return strconv.Quote(string(a))
+}
+
+// ParseFetchAlg resolves a registered policy name (as printed by String).
+func ParseFetchAlg(s string) (FetchAlg, error) {
+	a := FetchAlg(s)
+	if _, err := a.Selector(); err != nil {
+		return "", err
+	}
+	return a, nil
 }
 
 // ThreadFeedback carries the per-thread counters that fetch policies
@@ -71,64 +145,92 @@ type ThreadFeedback struct {
 }
 
 // FetchOrder fills out with all thread ids in priority order (best first)
-// for the given policy. rrBase rotates baseline priority; ties in the
-// counter policies break round-robin, as in the paper. out must have
-// capacity for all threads.
+// under the named policy. It is the pre-registry entry point, kept for
+// callers holding a name rather than a resolved selector; the core resolves
+// once at construction and calls the selector directly. An unregistered
+// name panics — silently measuring round-robin under a mislabeled policy
+// is worse than failing; resolve with ParseFetchAlg first to get an error.
 func FetchOrder(alg FetchAlg, rrBase int, fb []ThreadFeedback, out []int) []int {
-	n := len(fb)
-	out = out[:0]
-	for i := 0; i < n; i++ {
-		out = append(out, (rrBase+i)%n)
+	sel, err := alg.Selector()
+	if err != nil {
+		panic(err)
 	}
-	key := func(t int) int {
-		switch alg {
-		case BRCount:
-			return fb[t].BrCount
-		case MissCount:
-			return fb[t].MissCount
-		case ICount:
-			return fb[t].ICount
-		case IQPosn:
-			return -fb[t].IQPosn // farthest from the head first
-		default:
-			return 0 // RR: keep rotation order
-		}
-	}
-	if alg != RR {
-		sort.SliceStable(out, func(i, j int) bool { return key(out[i]) < key(out[j]) })
-	}
-	return out
+	return sel.Order(rrBase, fb, out)
 }
 
-// IssueAlg enumerates the issue-priority heuristics of Section 6.
-type IssueAlg uint8
+// IssueAlg names a registered issue-priority policy (Section 6). The zero
+// value resolves to OLDEST_FIRST.
+type IssueAlg string
 
 // Issue policies from Section 6 of the paper.
 const (
-	OldestFirst IssueAlg = iota
-	OptLast
-	SpecLast
-	BranchFirst
+	OldestFirst IssueAlg = "OLDEST_FIRST"
+	OptLast     IssueAlg = "OPT_LAST"
+	SpecLast    IssueAlg = "SPEC_LAST"
+	BranchFirst IssueAlg = "BRANCH_FIRST"
 )
 
-var issueNames = [...]string{"OLDEST_FIRST", "OPT_LAST", "SPEC_LAST", "BRANCH_FIRST"}
+// issueLegacy maps historical uint8 enum values to names; index == value.
+var issueLegacy = [...]IssueAlg{OldestFirst, OptLast, SpecLast, BranchFirst}
 
-// String returns the paper's name for the policy.
+// String returns the policy's registered name ("OLDEST_FIRST" for zero).
 func (a IssueAlg) String() string {
-	if int(a) < len(issueNames) {
-		return issueNames[a]
+	if a == "" {
+		return string(OldestFirst)
 	}
-	return fmt.Sprintf("issue(%d)", uint8(a))
+	return string(a)
 }
 
-// ParseIssueAlg resolves a policy name (as printed by String).
-func ParseIssueAlg(s string) (IssueAlg, error) {
-	for i, n := range issueNames {
-		if n == s {
-			return IssueAlg(i), nil
+// Selector resolves the name against the issue registry.
+func (a IssueAlg) Selector() (IssueSelector, error) {
+	if s, ok := LookupIssue(a.String()); ok {
+		return s, nil
+	}
+	return nil, fmt.Errorf("policy: unknown issue policy %q (have %v)", a.String(), IssueNames())
+}
+
+// MarshalJSON encodes the policy as its name.
+func (a IssueAlg) MarshalJSON() ([]byte, error) { return json.Marshal(a.String()) }
+
+// UnmarshalJSON accepts a policy name or the historical numeric enum value.
+func (a *IssueAlg) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err == nil {
+		*a = IssueAlg(s)
+		return nil
+	}
+	var n int
+	if err := json.Unmarshal(b, &n); err == nil {
+		if n < 0 || n >= len(issueLegacy) {
+			return fmt.Errorf("policy: legacy issue policy index %d out of range [0,%d]", n, len(issueLegacy)-1)
+		}
+		*a = issueLegacy[n]
+		return nil
+	}
+	return fmt.Errorf("policy: issue policy must be a name or legacy index, got %s", b)
+}
+
+// CanonicalFingerprint renders the policy for content addressing; built-ins
+// keep their historical uint8 encoding (see FetchAlg.CanonicalFingerprint).
+func (a IssueAlg) CanonicalFingerprint() string {
+	for i, n := range issueLegacy {
+		if n == a {
+			return strconv.Itoa(i)
 		}
 	}
-	return 0, fmt.Errorf("policy: unknown issue policy %q (have %v)", s, issueNames[:])
+	if a == "" {
+		return "0" // zero value is OLDEST_FIRST
+	}
+	return strconv.Quote(string(a))
+}
+
+// ParseIssueAlg resolves a registered policy name (as printed by String).
+func ParseIssueAlg(s string) (IssueAlg, error) {
+	a := IssueAlg(s)
+	if _, err := a.Selector(); err != nil {
+		return "", err
+	}
+	return a, nil
 }
 
 // IssueInfo describes one ready instruction for issue ordering.
@@ -139,22 +241,13 @@ type IssueInfo struct {
 	Branch      bool  // is a control-flow instruction
 }
 
-// Less reports whether a should issue before b under the policy. Every
-// policy breaks ties oldest-first, so OLDEST_FIRST is the pure form.
+// Less reports whether a should issue before b under the named policy.
+// Pre-registry entry point; an unregistered name panics (see FetchOrder) —
+// resolve with ParseIssueAlg first to get an error.
 func Less(alg IssueAlg, a, b IssueInfo) bool {
-	switch alg {
-	case OptLast:
-		if a.Optimistic != b.Optimistic {
-			return !a.Optimistic
-		}
-	case SpecLast:
-		if a.Speculative != b.Speculative {
-			return !a.Speculative
-		}
-	case BranchFirst:
-		if a.Branch != b.Branch {
-			return a.Branch
-		}
+	sel, err := alg.Selector()
+	if err != nil {
+		panic(err)
 	}
-	return a.Age < b.Age
+	return sel.Less(a, b)
 }

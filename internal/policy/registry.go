@@ -1,0 +1,137 @@
+package policy
+
+import (
+	"fmt"
+	"sync"
+)
+
+// The registries map policy names to selectors. Registration order is
+// preserved for listings (built-ins first, in the paper's order, then
+// composites, then caller registrations); lookups are concurrency-safe so
+// services can register policies while simulations resolve others.
+var (
+	regMu      sync.RWMutex
+	fetchReg   = map[string]FetchSelector{}
+	fetchOrder []string
+	issueReg   = map[string]IssueSelector{}
+	issueOrder []string
+)
+
+// validateName enforces the shared policy-name grammar: a letter followed
+// by letters, digits, or _ + . - (the paper's names plus composite
+// punctuation), at most 64 bytes. Names are case-sensitive; the
+// convention is UPPERCASE, matching the paper.
+func validateName(name string) error {
+	if name == "" {
+		return fmt.Errorf("policy: empty policy name")
+	}
+	if len(name) > 64 {
+		return fmt.Errorf("policy: name %q exceeds 64 bytes", name)
+	}
+	for i, r := range name {
+		letter := r >= 'A' && r <= 'Z' || r >= 'a' && r <= 'z'
+		if i == 0 && !letter {
+			return fmt.Errorf("policy: name %q must start with a letter", name)
+		}
+		if !letter && !(r >= '0' && r <= '9') && r != '_' && r != '+' && r != '.' && r != '-' {
+			return fmt.Errorf("policy: name %q contains invalid character %q", name, r)
+		}
+	}
+	return nil
+}
+
+// RegisterFetch adds a fetch selector to the registry under s.Name().
+// Names are permanent within a process: re-registering one fails, so a
+// cached result keyed by a name can never silently mean two different
+// machines.
+func RegisterFetch(s FetchSelector) error {
+	if s == nil {
+		return fmt.Errorf("policy: nil fetch selector")
+	}
+	name := s.Name()
+	if err := validateName(name); err != nil {
+		return err
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := fetchReg[name]; dup {
+		return fmt.Errorf("policy: fetch policy %q already registered", name)
+	}
+	fetchReg[name] = s
+	fetchOrder = append(fetchOrder, name)
+	return nil
+}
+
+// MustRegisterFetch is RegisterFetch for init-time registrations.
+func MustRegisterFetch(s FetchSelector) {
+	if err := RegisterFetch(s); err != nil {
+		panic(err)
+	}
+}
+
+// LookupFetch returns the selector registered under name. The empty name
+// resolves to round-robin, matching FetchAlg's zero value.
+func LookupFetch(name string) (FetchSelector, bool) {
+	if name == "" {
+		name = string(RR)
+	}
+	regMu.RLock()
+	defer regMu.RUnlock()
+	s, ok := fetchReg[name]
+	return s, ok
+}
+
+// FetchNames returns every registered fetch policy name in registration
+// order (built-ins first).
+func FetchNames() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return append([]string(nil), fetchOrder...)
+}
+
+// RegisterIssue adds an issue selector to the registry under s.Name();
+// same permanence rules as RegisterFetch.
+func RegisterIssue(s IssueSelector) error {
+	if s == nil {
+		return fmt.Errorf("policy: nil issue selector")
+	}
+	name := s.Name()
+	if err := validateName(name); err != nil {
+		return err
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := issueReg[name]; dup {
+		return fmt.Errorf("policy: issue policy %q already registered", name)
+	}
+	issueReg[name] = s
+	issueOrder = append(issueOrder, name)
+	return nil
+}
+
+// MustRegisterIssue is RegisterIssue for init-time registrations.
+func MustRegisterIssue(s IssueSelector) {
+	if err := RegisterIssue(s); err != nil {
+		panic(err)
+	}
+}
+
+// LookupIssue returns the selector registered under name. The empty name
+// resolves to OLDEST_FIRST, matching IssueAlg's zero value.
+func LookupIssue(name string) (IssueSelector, bool) {
+	if name == "" {
+		name = string(OldestFirst)
+	}
+	regMu.RLock()
+	defer regMu.RUnlock()
+	s, ok := issueReg[name]
+	return s, ok
+}
+
+// IssueNames returns every registered issue policy name in registration
+// order (built-ins first).
+func IssueNames() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return append([]string(nil), issueOrder...)
+}

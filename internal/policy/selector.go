@@ -1,0 +1,165 @@
+package policy
+
+import "sort"
+
+// FetchSelector is the fetch-policy extension point: given the per-thread
+// feedback the core maintains, order the hardware contexts best-first.
+//
+// Contract: Order must fill out (reusing its backing array) with a
+// permutation of [0, len(fb)), deterministically — the simulator's
+// reproducibility guarantees flow through it. rrBase is the core's rotating
+// baseline priority; implementations should start from the rotation
+// (rrBase, rrBase+1, ... mod n) and reorder stably so that ties break
+// round-robin, as every policy in the paper does. NewFetchSelector builds
+// a conforming selector from a plain comparison.
+type FetchSelector interface {
+	// Name is the selector's registry key, e.g. "ICOUNT".
+	Name() string
+	// Order appends all thread ids to out[:0] in priority order.
+	Order(rrBase int, fb []ThreadFeedback, out []int) []int
+}
+
+// QueuePositionReader is an optional FetchSelector refinement declaring
+// whether the selector consults ThreadFeedback.IQPosn. Filling IQPosn means
+// scanning both instruction queues every cycle, so the core computes it
+// only for selectors that want it; selectors not implementing the interface
+// are assumed to want it (the safe default for custom policies).
+type QueuePositionReader interface {
+	ReadsQueuePositions() bool
+}
+
+// ReadsQueuePositions reports whether the core must fill
+// ThreadFeedback.IQPosn for s.
+func ReadsQueuePositions(s FetchSelector) bool {
+	if r, ok := s.(QueuePositionReader); ok {
+		return r.ReadsQueuePositions()
+	}
+	return true
+}
+
+// fetchFunc is the standard FetchSelector shape: rotation order, then a
+// stable sort by a feedback comparison (nil keeps pure rotation — RR).
+type fetchFunc struct {
+	name string
+	less func(a, b ThreadFeedback) bool
+	posn bool
+}
+
+func (s *fetchFunc) Name() string              { return s.name }
+func (s *fetchFunc) ReadsQueuePositions() bool { return s.posn }
+
+func (s *fetchFunc) Order(rrBase int, fb []ThreadFeedback, out []int) []int {
+	n := len(fb)
+	out = out[:0]
+	for i := 0; i < n; i++ {
+		out = append(out, (rrBase+i)%n)
+	}
+	if s.less != nil {
+		sort.SliceStable(out, func(i, j int) bool { return s.less(fb[out[i]], fb[out[j]]) })
+	}
+	return out
+}
+
+// NewFetchSelector builds a fetch selector that orders threads by less
+// (best first), with ties breaking round-robin — the shape of every policy
+// in the paper. A nil less keeps pure rotation order. readsQueuePositions
+// declares whether less consults ThreadFeedback.IQPosn (see
+// QueuePositionReader); pass false unless it does, to spare the per-cycle
+// queue scan.
+func NewFetchSelector(name string, less func(a, b ThreadFeedback) bool, readsQueuePositions bool) FetchSelector {
+	return &fetchFunc{name: name, less: less, posn: readsQueuePositions}
+}
+
+// IssueSelector is the issue-policy extension point: a strict weak ordering
+// over ready instructions. The core merges both queues' candidates
+// oldest-first and reorders them with Less (stably, so equal candidates
+// keep age order); implementations should break all ties oldest-first, as
+// every policy in the paper does.
+type IssueSelector interface {
+	// Name is the selector's registry key, e.g. "OPT_LAST".
+	Name() string
+	// Less reports whether a should issue before b.
+	Less(a, b IssueInfo) bool
+}
+
+// OptimismReader is an optional IssueSelector refinement declaring whether
+// the selector consults IssueInfo.Optimistic. The flag costs two
+// register-file probes per candidate per cycle, so the core computes it
+// only for selectors that want it; selectors not implementing the
+// interface are assumed to want it (the safe default for custom policies).
+type OptimismReader interface {
+	ReadsOptimism() bool
+}
+
+// ReadsOptimism reports whether the core must fill IssueInfo.Optimistic
+// for s.
+func ReadsOptimism(s IssueSelector) bool {
+	if r, ok := s.(OptimismReader); ok {
+		return r.ReadsOptimism()
+	}
+	return true
+}
+
+// IssuePartitioner is an optional IssueSelector fast path for policies
+// whose order is a single stable boolean partition of the age-sorted
+// candidate list (all of the paper's non-default policies). The core
+// partitions in O(n) instead of sorting. First must be consistent with
+// Less: Less(a,b) == (First(a) && !First(b)) || (First(a)==First(b) &&
+// a.Age < b.Age).
+type IssuePartitioner interface {
+	First(IssueInfo) bool
+}
+
+// OrderNeutral is an optional IssueSelector marker for policies whose
+// order is pure age order (OLDEST_FIRST): the core's candidate list is
+// already age-sorted, so no reordering happens at all.
+type OrderNeutral interface {
+	OrderNeutralIssue()
+}
+
+// oldestFirst is OLDEST_FIRST: pure age order, no reordering needed.
+type oldestFirst struct{}
+
+func (oldestFirst) Name() string             { return string(OldestFirst) }
+func (oldestFirst) Less(a, b IssueInfo) bool { return a.Age < b.Age }
+func (oldestFirst) ReadsOptimism() bool      { return false }
+func (oldestFirst) OrderNeutralIssue()       {}
+func (oldestFirst) First(IssueInfo) bool     { return true }
+
+// flagIssue is the shape of the paper's non-default issue policies: one
+// boolean partition with oldest-first tie-break.
+type flagIssue struct {
+	name  string
+	first func(IssueInfo) bool
+	opt   bool // reads IssueInfo.Optimistic
+}
+
+func (s *flagIssue) Name() string           { return s.name }
+func (s *flagIssue) ReadsOptimism() bool    { return s.opt }
+func (s *flagIssue) First(i IssueInfo) bool { return s.first(i) }
+
+func (s *flagIssue) Less(a, b IssueInfo) bool {
+	if fa, fb := s.first(a), s.first(b); fa != fb {
+		return fa
+	}
+	return a.Age < b.Age
+}
+
+// issueFunc is a custom issue selector built from a plain comparison.
+type issueFunc struct {
+	name string
+	less func(a, b IssueInfo) bool
+	opt  bool
+}
+
+func (s *issueFunc) Name() string             { return s.name }
+func (s *issueFunc) ReadsOptimism() bool      { return s.opt }
+func (s *issueFunc) Less(a, b IssueInfo) bool { return s.less(a, b) }
+
+// NewIssueSelector builds an issue selector from a comparison. less must be
+// a strict weak ordering and should break ties oldest-first (compare Age
+// last). readsOptimism declares whether less consults
+// IssueInfo.Optimistic (see OptimismReader).
+func NewIssueSelector(name string, less func(a, b IssueInfo) bool, readsOptimism bool) IssueSelector {
+	return &issueFunc{name: name, less: less, opt: readsOptimism}
+}

@@ -47,6 +47,66 @@ func TestConfigFingerprint(t *testing.T) {
 	}
 }
 
+// TestBuiltinFingerprintsFrozen pins the content addresses of the paper's
+// standard machines to their pre-registry values: the policy redesign (enum
+// -> registered names) must never invalidate existing cache entries or
+// published result identities. These hashes were captured on the enum-based
+// implementation; if one changes, the canonical encoding changed.
+func TestBuiltinFingerprintsFrozen(t *testing.T) {
+	icount28 := DefaultConfig(8)
+	icount28.FetchPolicy = FetchICount
+	icount28.FetchThreads = 2
+	mixed := DefaultConfig(4)
+	mixed.FetchPolicy = FetchIQPosn
+	mixed.IssuePolicy = IssueBranchFirst
+
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+		want string
+	}{
+		{"RR.1.8 x8", DefaultConfig(8), "d6299ababff1dd25cd1e24bb710c4b0f"},
+		{"ICOUNT.2.8 x8", icount28, "c5f400b8bb24ba27154a29bbbb82f063"},
+		{"superscalar", Superscalar(), "687c8c2af5fe889a3d41c54e4ddb94bd"},
+		{"IQPOSN/BRANCH_FIRST x4", mixed, "0c42723b831f4a600648b725e5e46b53"},
+	} {
+		if got := tc.cfg.Fingerprint(); got != tc.want {
+			t.Errorf("%s fingerprint = %s, want frozen %s", tc.name, got, tc.want)
+		}
+	}
+}
+
+// Custom policies are content-addressed by name: distinct names yield
+// distinct fingerprints, the address survives a JSON round trip, and it
+// never collides with a built-in's frozen address.
+func TestCustomPolicyFingerprintByName(t *testing.T) {
+	a := DefaultConfig(4)
+	a.FetchPolicy = FetchICountBRCount
+	b := DefaultConfig(4)
+	b.FetchPolicy = FetchICountWeightedMiss
+	c := DefaultConfig(4)
+	c.FetchPolicy = FetchICount
+
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Error("distinct composite policies share a fingerprint")
+	}
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Error("composite collides with built-in")
+	}
+
+	raw, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rt Config
+	if err := json.Unmarshal(raw, &rt); err != nil {
+		t.Fatal(err)
+	}
+	if rt.Fingerprint() != a.Fingerprint() {
+		t.Error("JSON round trip changed a name-addressed fingerprint")
+	}
+}
+
 // TestResultsFetchAvailabilityPartition: the five fetch-outcome fractions
 // must sum to 1 — the per-cycle accounting invariant surfaced through the
 // public Results schema.

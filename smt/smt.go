@@ -15,6 +15,17 @@
 //	res := sim.Run(1_000_000)
 //	fmt.Println(res.IPC)
 //
+// Fetch and issue policies are named, registered strategies — the
+// "exploiting choice" of the title is an extension point. Config carries
+// policy names; RegisterFetchPolicy and RegisterIssuePolicy add new
+// strategies (see FetchPolicyFunc for the common comparison-based shape),
+// which then work everywhere a built-in does: configs, the experiment
+// engine, CLI flags, smtd sweeps, and the content-addressed result cache.
+//
+// For interval-level observability, Start opens a streaming run session
+// that emits delta + cumulative Snapshots while the simulation advances;
+// Run and Warmup are thin wrappers over it.
+//
 // The paper's measurement methodology (Section 3) averages several runs with
 // rotated benchmark-to-thread assignments; Experiment in package exp drives
 // that, and cmd/experiments regenerates every table and figure.
@@ -22,6 +33,7 @@ package smt
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/mem"
@@ -43,13 +55,27 @@ const (
 	SpecNoWrongPath  = core.SpecNoWrongPath
 )
 
-// Fetch thread-choice policies (Section 5.2).
+// FetchAlg names a registered fetch policy; IssueAlg names a registered
+// issue policy. Config's FetchPolicy/IssuePolicy fields carry these, so a
+// policy registered under a name is selected by assigning that name.
+type (
+	FetchAlg = policy.FetchAlg
+	IssueAlg = policy.IssueAlg
+)
+
+// Fetch thread-choice policies (Section 5.2), plus the two composite
+// policies shipped beyond the paper.
 const (
 	FetchRR        = policy.RR
 	FetchBRCount   = policy.BRCount
 	FetchMissCount = policy.MissCount
 	FetchICount    = policy.ICount
 	FetchIQPosn    = policy.IQPosn
+
+	// FetchICountBRCount is ICOUNT with unresolved-branch tie-break.
+	FetchICountBRCount = policy.ICountBRCount
+	// FetchICountWeightedMiss is ICOUNT + 2*MISSCOUNT.
+	FetchICountWeightedMiss = policy.ICountWeightedMiss
 )
 
 // Issue policies (Section 6).
@@ -59,6 +85,60 @@ const (
 	IssueSpecLast    = policy.SpecLast
 	IssueBranchFirst = policy.BranchFirst
 )
+
+// Policy extension points, re-exported from the internal policy layer so
+// custom strategies can be written against the public API alone.
+type (
+	// FetchSelector orders hardware contexts for fetch each cycle.
+	FetchSelector = policy.FetchSelector
+	// IssueSelector orders ready instructions for issue each cycle.
+	IssueSelector = policy.IssueSelector
+	// ThreadFeedback carries the per-thread counters fetch policies consult.
+	ThreadFeedback = policy.ThreadFeedback
+	// IssueInfo describes one ready instruction for issue ordering.
+	IssueInfo = policy.IssueInfo
+)
+
+// RegisterFetchPolicy adds a custom fetch policy to the global registry.
+// Once registered, the policy's name is valid in Config.FetchPolicy — and
+// therefore in experiment grids, CLI flags, smtd inline-grid configs, and
+// cache keys (results are content-addressed by policy name). Names are
+// permanent within a process; registering a taken name fails.
+func RegisterFetchPolicy(s FetchSelector) error { return policy.RegisterFetch(s) }
+
+// RegisterIssuePolicy adds a custom issue policy to the global registry;
+// same rules as RegisterFetchPolicy.
+func RegisterIssuePolicy(s IssueSelector) error { return policy.RegisterIssue(s) }
+
+// FetchPolicies returns every registered fetch policy name in registration
+// order (the paper's five built-ins first, then the composites, then
+// caller registrations).
+func FetchPolicies() []string { return policy.FetchNames() }
+
+// IssuePolicies returns every registered issue policy name in registration
+// order.
+func IssuePolicies() []string { return policy.IssueNames() }
+
+// LookupFetchPolicy resolves a registered fetch policy name.
+func LookupFetchPolicy(name string) (FetchSelector, bool) { return policy.LookupFetch(name) }
+
+// LookupIssuePolicy resolves a registered issue policy name.
+func LookupIssuePolicy(name string) (IssueSelector, bool) { return policy.LookupIssue(name) }
+
+// FetchPolicyFunc builds a fetch selector from a feedback comparison (best
+// thread first, ties round-robin) — the shape of every policy in the
+// paper. readsQueuePositions declares whether less consults
+// ThreadFeedback.IQPosn, which costs a per-cycle queue scan to fill.
+func FetchPolicyFunc(name string, less func(a, b ThreadFeedback) bool, readsQueuePositions bool) FetchSelector {
+	return policy.NewFetchSelector(name, less, readsQueuePositions)
+}
+
+// IssuePolicyFunc builds an issue selector from a comparison; less must be
+// a strict weak ordering and should break ties oldest-first (compare Age
+// last). readsOptimism declares whether less consults IssueInfo.Optimistic.
+func IssuePolicyFunc(name string, less func(a, b IssueInfo) bool, readsOptimism bool) IssueSelector {
+	return policy.NewIssueSelector(name, less, readsOptimism)
+}
 
 // DefaultConfig returns the paper's baseline SMT machine with the given
 // number of hardware contexts (RR.1.8 fetch, OLDEST_FIRST issue, Table 1/2
@@ -99,17 +179,42 @@ func WorkloadMix(threads, rotate int, seed uint64) WorkloadSpec {
 	return spec
 }
 
+// validateSpec rejects workload specs the paper's methodology would never
+// produce: a benchmark name with no profile, or the same benchmark loaded
+// into two contexts while distinct programs are available (the paper's
+// mixes are always distinct programs; silent duplicates skew rotation
+// comparisons). Duplicates are allowed only when the machine has more
+// contexts than there are benchmarks, where they are unavoidable.
+func validateSpec(cfg Config, spec WorkloadSpec) error {
+	if len(spec.Names) != cfg.Threads {
+		return fmt.Errorf("smt: workload names %d != threads %d", len(spec.Names), cfg.Threads)
+	}
+	if cfg.Threads <= len(Benchmarks()) {
+		seen := make(map[string]bool, len(spec.Names))
+		for _, name := range spec.Names {
+			if seen[name] {
+				return fmt.Errorf("smt: benchmark %q appears more than once in %v; the paper's mixes are distinct programs (valid names: %v)",
+					name, spec.Names, Benchmarks())
+			}
+			seen[name] = true
+		}
+	}
+	return nil
+}
+
 // Simulator is one machine instance bound to one workload.
 type Simulator struct {
-	proc *core.Processor
-	cfg  Config
+	proc    *core.Processor
+	cfg     Config
+	running atomic.Bool // an unfinished streaming session owns the machine
 }
 
 // New builds a simulator: cfg.Threads programs are generated per spec and
-// loaded one per hardware context.
+// loaded one per hardware context. Unknown benchmark names and duplicate
+// names (while distinct benchmarks remain available) are rejected.
 func New(cfg Config, spec WorkloadSpec) (*Simulator, error) {
-	if len(spec.Names) != cfg.Threads {
-		return nil, fmt.Errorf("smt: workload names %d != threads %d", len(spec.Names), cfg.Threads)
+	if err := validateSpec(cfg, spec); err != nil {
+		return nil, err
 	}
 	programs := make([]*workload.Program, cfg.Threads)
 	for i, name := range spec.Names {
@@ -142,37 +247,45 @@ func MustNew(cfg Config, spec WorkloadSpec) *Simulator {
 // Config returns the simulator's machine configuration.
 func (s *Simulator) Config() Config { return s.cfg }
 
-// Warmup runs `instructions` commits without recording statistics, then
-// resets all counters (cache and predictor contents persist — that is the
-// point).
-func (s *Simulator) Warmup(instructions int64) {
-	s.proc.Run(instructions, 0)
-	s.proc.ResetStats()
-}
-
-// Run commits at least `instructions` more instructions and returns the
-// accumulated results.
-func (s *Simulator) Run(instructions int64) Results {
-	s.proc.Run(instructions, 0)
-	return s.Results()
-}
-
-// RunCycles advances exactly `cycles` cycles.
-func (s *Simulator) RunCycles(cycles int64) Results {
-	for i := int64(0); i < cycles; i++ {
-		s.proc.Step()
-	}
-	return s.Results()
-}
-
 // RawStats exposes the core's full counter set for detailed analysis; the
 // fields are documented in the core package.
 func (s *Simulator) RawStats() core.Stats { return s.proc.Stats() }
 
-// Results returns the current statistics snapshot.
-func (s *Simulator) Results() Results {
-	st := s.proc.Stats()
+// cacheLevels orders Results.Caches: L1I, L1D, L2, L3.
+var cacheLevels = [4]mem.Level{mem.L1I, mem.L1D, mem.L2, mem.L3}
+
+// observation is one capture of every counter Results derives from: the
+// core statistics plus the four cache levels. Subtracting two observations
+// of the same run yields the interval between them, which is how streaming
+// sessions compute delta Results.
+type observation struct {
+	st     core.Stats
+	caches [4]mem.Stats
+}
+
+func (s *Simulator) observe() observation {
+	o := observation{st: s.proc.Stats()}
 	m := s.proc.Mem()
+	for i, l := range cacheLevels {
+		o.caches[i] = m.CacheStats(l)
+	}
+	return o
+}
+
+// sub returns the interval observation o - base.
+func (o observation) sub(base observation) observation {
+	d := observation{st: o.st.Sub(base.st)}
+	for i := range o.caches {
+		d.caches[i] = o.caches[i].Sub(base.caches[i])
+	}
+	return d
+}
+
+// results derives the full metric set from an observation — of a whole run
+// or of one interval; every rate is computed over the observation's own
+// cycle and instruction counts.
+func (o observation) results() Results {
+	st := o.st
 	res := Results{
 		Cycles:            st.Cycles,
 		Committed:         st.Committed,
@@ -196,8 +309,7 @@ func (s *Simulator) Results() Results {
 		FetchLostIMiss:        st.CycleFrac(st.FetchLostIMiss),
 		FetchLostBankConflict: st.CycleFrac(st.FetchLostBankConflict),
 	}
-	for i, l := range []mem.Level{mem.L1I, mem.L1D, mem.L2, mem.L3} {
-		cs := m.CacheStats(l)
+	for i, cs := range o.caches {
 		res.Caches[i] = CacheResult{
 			Accesses: cs.Accesses,
 			Misses:   cs.Misses,
@@ -206,6 +318,11 @@ func (s *Simulator) Results() Results {
 		}
 	}
 	return res
+}
+
+// Results returns the current statistics snapshot.
+func (s *Simulator) Results() Results {
+	return s.observe().results()
 }
 
 // CacheResult summarizes one cache level. The JSON tags are part of the
