@@ -1,0 +1,199 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dist"
+)
+
+// TestDistributedSmoke is CI's distributed smoke job: boot a coordinator
+// and a worker through the real binary entry point, run a 2-point sweep
+// through the worker, assert the results are byte-identical on cached
+// resubmission and that the jobs really executed remotely.
+func TestDistributedSmoke(t *testing.T) {
+	// Coordinator on an ephemeral port.
+	ready := make(chan string, 1)
+	var cout, cerr bytes.Buffer
+	go run([]string{"-addr", "127.0.0.1:0", "-workers", "2"}, &cout, &cerr, ready)
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case <-time.After(10 * time.Second):
+		t.Fatalf("coordinator never came up\nstdout: %s\nstderr: %s", cout.String(), cerr.String())
+	}
+
+	// Worker joining it — the same binary, worker mode. (Like the plain
+	// service smoke test, the processes-in-goroutines run until the test
+	// binary exits.)
+	var wout, werr bytes.Buffer
+	go run([]string{"-worker", "-join", base, "-workers", "2", "-name", "smoke-worker"}, &wout, &werr, nil)
+
+	status := func() dist.Status {
+		t.Helper()
+		resp, err := http.Get(base + "/v1/workers")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var st dist.Status
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for status().Capacity < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("worker never registered\nworker stdout: %s\nstderr: %s", wout.String(), werr.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	post := func() sweepStatus {
+		t.Helper()
+		body := `{
+			"name": "dist-smoke",
+			"grid": [
+				{"series": "RR.1.8", "threads": 2},
+				{"series": "ICOUNT.2.8", "threads": 2, "config": {"FetchPolicy": "ICOUNT", "FetchThreads": 2}}
+			],
+			"opts": {"runs": 1, "warmup": 500, "measure": 1000, "seed": 1},
+			"wait": true
+		}`
+		resp, err := http.Post(base+"/v1/sweep", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("sweep status %d", resp.StatusCode)
+		}
+		var st sweepStatus
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		if st.State != "done" || st.TotalJobs != 2 {
+			t.Fatalf("sweep did not finish: %+v", st)
+		}
+		return st
+	}
+	result := func(st sweepStatus) string {
+		t.Helper()
+		resp, err := http.Get(base + st.ResultURL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var b bytes.Buffer
+		if _, err := b.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+
+	first := post()
+	if first.CacheHits != 0 {
+		t.Fatalf("cold distributed sweep reported %d cache hits", first.CacheHits)
+	}
+	// The jobs must have executed on the worker, not via local fallback.
+	st := status()
+	if st.RemoteDone != 2 || st.LocalDone != 0 {
+		t.Fatalf("want 2 remote / 0 local completions, got %d / %d", st.RemoteDone, st.LocalDone)
+	}
+	if len(st.Workers) != 1 || st.Workers[0].Completed != 2 {
+		t.Fatalf("worker registry does not show the completions: %+v", st.Workers)
+	}
+
+	second := post()
+	if second.CacheHits != second.TotalJobs {
+		t.Fatalf("resubmission hit cache on %d of %d jobs", second.CacheHits, second.TotalJobs)
+	}
+	if a, b := result(first), result(second); a != b || len(a) == 0 {
+		t.Fatalf("cached resubmission changed the result:\n%s\nvs\n%s", a, b)
+	}
+	// Resubmission was served from cache — no new remote executions.
+	if st := status(); st.RemoteDone != 2 {
+		t.Fatalf("cached resubmission re-dispatched jobs: remote_done=%d", st.RemoteDone)
+	}
+}
+
+// TestVersionEndpoint: /v1/version reports build identity from
+// runtime/debug.ReadBuildInfo.
+func TestVersionEndpoint(t *testing.T) {
+	ts := newTestService(t)
+	var v struct {
+		Module    string `json:"module"`
+		GoVersion string `json:"go_version"`
+	}
+	if code := doJSON(t, "GET", ts.URL+"/v1/version", nil, &v); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if v.Module != "repro" || v.GoVersion == "" {
+		t.Fatalf("version info incomplete: %+v", v)
+	}
+}
+
+// TestCachePeekFillEndpoints: the worker-facing cache surface serves
+// misses as 404 and round-trips fills.
+func TestCachePeekFillEndpoints(t *testing.T) {
+	ts := newTestService(t)
+	if code := doJSON(t, "GET", ts.URL+"/v1/cache/nope", nil, nil); code != 404 {
+		t.Fatalf("peek of empty cache: status %d, want 404", code)
+	}
+	body := strings.NewReader(`{"ipc": 1.5, "cycles": 10}`)
+	req, _ := http.NewRequest(http.MethodPut, ts.URL+"/v1/cache/somekey", body)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("fill: status %d, want 204", resp.StatusCode)
+	}
+	var got struct {
+		IPC float64 `json:"ipc"`
+	}
+	if code := doJSON(t, "GET", ts.URL+"/v1/cache/somekey", nil, &got); code != 200 || got.IPC != 1.5 {
+		t.Fatalf("peek after fill: status %d, ipc %v", code, got.IPC)
+	}
+}
+
+// TestDrainWaitsForRunningSweeps: Drain returns once running sweeps
+// finish and reports stragglers on timeout.
+func TestDrainWaitsForRunningSweeps(t *testing.T) {
+	s := NewServer(2, 16)
+	t.Cleanup(s.Close)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	var st sweepStatus
+	code := doJSON(t, "POST", ts.URL+"/v1/sweep",
+		map[string]any{"experiment": "fig7", "opts": tinyOpts(), "wait": false}, &st)
+	if code != 202 {
+		t.Fatalf("submit: status %d", code)
+	}
+	drainCtx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if left := s.Drain(drainCtx); left != 0 {
+		t.Fatalf("drain left %d sweeps running", left)
+	}
+	var after sweepStatus
+	doJSON(t, "GET", ts.URL+"/v1/jobs/"+st.ID, nil, &after)
+	if after.State != "done" {
+		t.Fatalf("sweep state after drain: %q, want done", after.State)
+	}
+	// A draining server must refuse new sweeps — nothing would wait for
+	// them and shutdown would kill them mid-run.
+	code = doJSON(t, "POST", ts.URL+"/v1/sweep",
+		map[string]any{"experiment": "fig7", "opts": tinyOpts(), "wait": false}, nil)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("sweep submitted while draining: status %d, want 503", code)
+	}
+}

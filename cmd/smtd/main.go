@@ -6,6 +6,8 @@
 //
 // Endpoints:
 //
+//	GET    /healthz             liveness probe
+//	GET    /v1/version          build info (module, version, VCS revision)
 //	GET    /v1/experiments      list the registry (the paper's tables/figures)
 //	POST   /v1/sweep            submit a registry or inline-grid sweep
 //	GET    /v1/jobs             list submitted sweeps
@@ -13,17 +15,22 @@
 //	GET    /v1/jobs/{id}/result canonical ExperimentResult JSON
 //	DELETE /v1/jobs/{id}        cancel a running sweep
 //	GET    /v1/cache            content-addressed result cache metrics
+//	GET    /v1/workers          distributed worker registry + scheduler stats
 //
-// Example: a two-point sweep, then the same sweep again served entirely
-// from cache:
+// The same binary also runs as a worker node that joins a coordinator and
+// absorbs its sweep jobs (see internal/dist for the protocol):
 //
-//	curl -s localhost:8080/v1/sweep -d '{"experiment":"table4","wait":true}'
+//	smtd -worker -join http://coordinator:8080 -workers 8
 //
 // Every job's results are stored under a content address — the machine
 // configuration's fingerprint plus workload seed and budgets — so any
-// sweep, by any client, reuses every simulation the service has already
-// run. Determinism makes the reuse exact: a cached sweep is byte-identical
-// to a fresh one.
+// sweep, by any client, on any node, reuses every simulation the cluster
+// has already run. Determinism makes the reuse and the distribution
+// exact: a cached or distributed sweep is byte-identical to a fresh local
+// one.
+//
+// SIGTERM drains before exit: a coordinator finishes running sweeps, a
+// worker finishes and delivers in-flight jobs, then deregisters.
 package main
 
 import (
@@ -38,22 +45,32 @@ import (
 	"os/signal"
 	"syscall"
 	"time"
+
+	"repro/internal/dist"
 )
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, nil))
 }
 
+// drainTimeout bounds how long a SIGTERM'd coordinator waits for running
+// sweeps before exiting anyway.
+const drainTimeout = 30 * time.Second
+
 // run is main with its dependencies injected. When ready is non-nil it
 // receives the server's bound address once listening — tests use it with
-// -addr 127.0.0.1:0 to grab an ephemeral port.
+// -addr 127.0.0.1:0 to grab an ephemeral port. (Worker mode has no
+// listener and signals nothing.)
 func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	fs := flag.NewFlagSet("smtd", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		addr      = fs.String("addr", ":8080", "listen address")
-		workers   = fs.Int("workers", 0, "simulation worker pool size per sweep (0 = GOMAXPROCS)")
+		addr      = fs.String("addr", ":8080", "listen address (coordinator mode)")
+		workers   = fs.Int("workers", 0, "simulation slots: local pool size, or slots offered in -worker mode (0 = GOMAXPROCS)")
 		cacheSize = fs.Int("cache", 4096, "max cached job results (bounded LRU, must be positive)")
+		worker    = fs.Bool("worker", false, "run as a worker node: join a coordinator instead of listening")
+		join      = fs.String("join", "", "coordinator base URL to join (required with -worker)")
+		name      = fs.String("name", "", "worker display name (default: hostname)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
@@ -63,6 +80,17 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	}
 	if *workers < 0 {
 		fmt.Fprintf(stderr, "-workers %d is negative; use 0 for GOMAXPROCS\n", *workers)
+		return 2
+	}
+	if *worker {
+		if *join == "" {
+			fmt.Fprintln(stderr, "-worker requires -join <coordinator url>")
+			return 2
+		}
+		return runWorker(*join, *name, *workers, stdout, stderr)
+	}
+	if *join != "" {
+		fmt.Fprintln(stderr, "-join only makes sense with -worker")
 		return 2
 	}
 	if *cacheSize <= 0 {
@@ -78,7 +106,9 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		fmt.Fprintln(stderr, "smtd:", err)
 		return 1
 	}
-	srv := &http.Server{Handler: NewServer(*workers, *cacheSize).Handler()}
+	server := NewServer(*workers, *cacheSize)
+	defer server.Close()
+	srv := &http.Server{Handler: server.Handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -97,10 +127,58 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 			return 1
 		}
 	case <-ctx.Done():
+		// Restore default signal disposition immediately: a second
+		// SIGTERM/Ctrl-C during the (up to 30s) drain force-kills instead
+		// of being swallowed by the already-cancelled context.
+		stop()
+		// Drain before closing the listener: running sweeps may depend on
+		// workers that reach us through it (polls, results), so the socket
+		// must stay up while they finish.
+		drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+		fmt.Fprintln(stdout, "smtd: draining running sweeps")
+		if left := server.Drain(drainCtx); left > 0 {
+			fmt.Fprintf(stdout, "smtd: drain timed out with %d sweep(s) still running\n", left)
+		}
+		cancel()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		srv.Shutdown(shutdownCtx)
 		fmt.Fprintln(stdout, "smtd: shut down")
 	}
+	return 0
+}
+
+// runWorker joins a coordinator and serves simulation jobs until
+// SIGTERM, then drains: in-flight jobs finish and deliver their results
+// before the process exits.
+func runWorker(join, name string, slots int, stdout, stderr io.Writer) int {
+	if name == "" {
+		name, _ = os.Hostname()
+		if name == "" {
+			name = "worker"
+		}
+	}
+	w := dist.NewWorker(dist.WorkerOptions{
+		Coordinator: join,
+		Name:        name,
+		Slots:       slots,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(stdout, format+"\n", args...)
+		},
+	})
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		// After the first signal starts the drain, restore default
+		// disposition so a second signal force-kills a stuck drain.
+		<-ctx.Done()
+		stop()
+	}()
+	fmt.Fprintf(stdout, "smtd worker %q joining %s\n", name, join)
+	if err := w.Run(ctx); err != nil {
+		fmt.Fprintln(stderr, "smtd worker:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "smtd worker: drained after %d job(s) and deregistered\n", w.JobsDone())
 	return 0
 }

@@ -19,6 +19,8 @@ func TestFlagValidation(t *testing.T) {
 		{"zero cache", []string{"-cache", "0"}, "-cache 0 must be positive"},
 		{"negative cache", []string{"-cache", "-5"}, "-cache -5 must be positive"},
 		{"bad flag", []string{"-no-such-flag"}, "flag provided but not defined"},
+		{"worker without join", []string{"-worker"}, "-worker requires -join"},
+		{"join without worker", []string{"-join", "http://example:8080"}, "-join only makes sense with -worker"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

@@ -7,10 +7,12 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
 
 	"repro/internal/cache"
+	"repro/internal/dist"
 	"repro/internal/exp"
 	"repro/smt"
 )
@@ -22,16 +24,18 @@ import (
 // re-simulating them, and determinism guarantees a cache hit returns
 // exactly the bytes a fresh simulation would.
 type Server struct {
-	workers int
+	workers int // local simulation slots (resolved; > 0)
 	store   *cache.Store[smt.Results]
 	flight  *cache.Flight[smt.Results] // store + in-flight dedup, what runners consult
-	sem     chan struct{}              // global simulation slots, shared by every sweep
+	sem     chan struct{}              // local simulation slots, shared by every sweep
+	coord   *dist.Coordinator          // execution backend: remote workers, local fallback
 
 	mu         sync.Mutex
 	sweeps     map[string]*sweep
 	order      []string // submission order, for listing
 	nextID     int
-	maxHistory int // finished sweeps retained; older ones are evicted
+	maxHistory int  // finished sweeps retained; older ones are evicted
+	draining   bool // shutdown in progress: no new sweeps accepted
 }
 
 // sweep is one submitted sweep job and its progress.
@@ -45,6 +49,7 @@ type sweep struct {
 	doneJobs   int
 	cacheHits  int
 	running    map[string]*jobProgress // in-flight jobs' latest snapshots
+	finished   map[string]bool         // jobs already completed; late snapshots must not resurrect them
 	resultJSON []byte                  // ExperimentResult.EncodeJSON bytes, once done
 	errMsg     string
 	cancel     context.CancelFunc
@@ -73,24 +78,79 @@ const defaultMaxHistory = 64
 
 // NewServer builds a service with the given simulation concurrency
 // (<=0 means GOMAXPROCS) and result-cache capacity (0 means unbounded).
-// The concurrency bound is global: however many sweeps run at once, at
-// most `workers` simulations execute concurrently.
+// The concurrency bound applies to local simulation: however many sweeps
+// run at once, at most `workers` simulations execute on this process.
+// Registered remote workers (see internal/dist) add their own capacity on
+// top. Call Close when done with the server outside a process-lifetime
+// context.
 func NewServer(workers, cacheSize int) *Server {
 	n := workers
 	if n <= 0 {
 		n = runtime.GOMAXPROCS(0)
 	}
 	store := cache.New[smt.Results](cacheSize)
+	sem := make(chan struct{}, n)
 	return &Server{
-		workers: workers,
+		workers: n,
 		store:   store,
 		// In-flight dedup on top of the store: concurrent identical sweeps
 		// compute each overlapping job once, the rest wait and take the hit.
-		flight:     cache.NewFlight[smt.Results](store),
-		sem:        make(chan struct{}, n),
+		flight: cache.NewFlight[smt.Results](store),
+		sem:    sem,
+		// The coordinator is every sweep's execution backend. With no
+		// workers registered it runs jobs in-process under the same
+		// semaphore the pre-distribution service used, so a standalone
+		// smtd behaves exactly as before; workers joining at runtime
+		// absorb the jobs of sweeps submitted from then on (a running
+		// sweep keeps dispatching — to them too — but at the dispatch
+		// width fixed when it was submitted).
+		coord: dist.NewCoordinator(dist.Options{
+			LocalSlots:  sem,
+			ServesCache: true,
+		}),
 		sweeps:     make(map[string]*sweep),
 		maxHistory: defaultMaxHistory,
 	}
+}
+
+// Close stops the coordinator's background lease janitor.
+func (s *Server) Close() { s.coord.Close() }
+
+// Drain blocks until every sweep running when it was called has finished
+// or ctx expires, returning how many were still running at timeout. The
+// SIGTERM path uses it so in-flight sweeps complete before exit. Drain
+// also stops sweep intake: the listener must stay open for distributed
+// workers to deliver results, so new POST /v1/sweep submissions — which
+// nothing would wait for and shutdown would kill mid-run — are refused
+// with 503 instead of silently accepted.
+func (s *Server) Drain(ctx context.Context) int {
+	s.mu.Lock()
+	s.draining = true
+	var waits []chan struct{}
+	for _, sw := range s.sweeps {
+		if sw.state == "running" {
+			waits = append(waits, sw.done)
+		}
+	}
+	s.mu.Unlock()
+	for i, ch := range waits {
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			// Count what is actually still running: sweeps later in the
+			// slice may have finished while this one was blocking.
+			remaining := 0
+			for _, ch := range waits[i:] {
+				select {
+				case <-ch:
+				default:
+					remaining++
+				}
+			}
+			return remaining
+		}
+	}
+	return 0
 }
 
 // Handler returns the service's route table.
@@ -99,6 +159,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	mux.HandleFunc("GET /v1/version", s.handleVersion)
 	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
@@ -106,7 +167,73 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	mux.HandleFunc("GET /v1/cache", s.handleCache)
+	// Shared-cache peek/fill for distributed workers: keys are the
+	// engine's job content addresses, values canonical smt.Results JSON.
+	mux.HandleFunc("GET /v1/cache/{key}", s.handleCacheGet)
+	mux.HandleFunc("PUT /v1/cache/{key}", s.handleCachePut)
+	// Worker registry, long-poll work queue, snapshot/result ingestion.
+	s.coord.Handle(mux)
 	return mux
+}
+
+// versionInfo is the /v1/version payload: build identity via
+// runtime/debug.ReadBuildInfo, so a deployed binary answers "what exactly
+// is running here" without external bookkeeping.
+type versionInfo struct {
+	Module    string `json:"module"`
+	Version   string `json:"version"`
+	GoVersion string `json:"go_version"`
+	Revision  string `json:"vcs_revision,omitempty"`
+	BuildTime string `json:"vcs_time,omitempty"`
+	Modified  bool   `json:"vcs_modified,omitempty"`
+}
+
+func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
+	info := versionInfo{}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		info.Module = bi.Main.Path
+		info.Version = bi.Main.Version
+		info.GoVersion = bi.GoVersion
+		for _, kv := range bi.Settings {
+			switch kv.Key {
+			case "vcs.revision":
+				info.Revision = kv.Value
+			case "vcs.time":
+				info.BuildTime = kv.Value
+			case "vcs.modified":
+				info.Modified = kv.Value == "true"
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+// handleCacheGet peeks one content-addressed result. Workers call it
+// before simulating so a job any node already ran is never run twice.
+func (s *Server) handleCacheGet(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	res, ok := s.store.Get(key)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no cached result for %q", key)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// handleCachePut fills one content-addressed result. Determinism makes
+// fills idempotent: every honest writer of a key computes identical
+// bytes. Like the rest of the API (sweep submission, cancellation,
+// worker registration — a registered worker's result posts are equally
+// unverified), this endpoint trusts its network: smtd is designed to run
+// inside a trusted cluster, not on the open internet.
+func (s *Server) handleCachePut(w http.ResponseWriter, r *http.Request) {
+	var res smt.Results
+	if err := json.NewDecoder(r.Body).Decode(&res); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid result body: %v", err)
+		return
+	}
+	s.store.Put(r.PathValue("key"), res)
+	w.WriteHeader(http.StatusNoContent)
 }
 
 // experimentInfo is one registry entry as the API lists it.
@@ -176,6 +303,13 @@ type sweepStatus struct {
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		writeError(w, http.StatusServiceUnavailable, "smtd is draining for shutdown and not accepting new sweeps")
+		return
+	}
 	// Partial opts overlay exp.DefaultOpts, the same way partial grid
 	// configs overlay smt.DefaultConfig: decoding into pre-filled defaults
 	// keeps absent fields at their default values.
@@ -215,6 +349,10 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 
 	sw := s.startSweep(e, o, len(jobs), req.IntervalCycles)
+	if sw == nil {
+		writeError(w, http.StatusServiceUnavailable, "smtd is draining for shutdown and not accepting new sweeps")
+		return
+	}
 	if req.Wait {
 		<-sw.done
 	}
@@ -309,10 +447,19 @@ func validateOpts(o exp.Opts) error {
 
 // startSweep registers the sweep and launches it on the engine. Progress
 // streams through the runner's per-job completion callback and — when the
-// client asked for interval streaming — the per-interval snapshot callback.
+// client asked for interval streaming — the per-interval snapshot
+// callback. It returns nil when the server started draining since the
+// handler's fast-path check: the decision is re-made under the same lock
+// Drain uses, closing the window where a sweep could slip in, be in no
+// drain wait list, and be killed mid-run at process exit.
 func (s *Server) startSweep(e exp.Experiment, o exp.Opts, totalJobs int, interval int64) *sweep {
 	ctx, cancel := context.WithCancel(context.Background())
 	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		cancel()
+		return nil
+	}
 	s.nextID++
 	sw := &sweep{
 		id:         fmt.Sprintf("sweep-%d", s.nextID),
@@ -322,6 +469,7 @@ func (s *Server) startSweep(e exp.Experiment, o exp.Opts, totalJobs int, interva
 		state:      "running",
 		totalJobs:  totalJobs,
 		running:    map[string]*jobProgress{},
+		finished:   map[string]bool{},
 		cancel:     cancel,
 		done:       make(chan struct{}),
 	}
@@ -330,10 +478,20 @@ func (s *Server) startSweep(e exp.Experiment, o exp.Opts, totalJobs int, interva
 	s.pruneHistoryLocked()
 	s.mu.Unlock()
 
+	// The dispatch pool sizes to the whole cluster at submission time:
+	// local slots plus whatever capacity workers offer right now. Each
+	// pool goroutine blocks on one dispatched job, so this is also the
+	// sweep's backpressure bound — and it is fixed for the sweep's
+	// lifetime: workers joining later receive this sweep's jobs, but
+	// cannot widen its in-flight window (resubmit, or submit the next
+	// sweep, to use them fully). The coordinator — not Runner.Sem —
+	// enforces the local simulation limit, because jobs may execute
+	// remotely.
+	pool := s.workers + s.coord.Capacity()
 	runner := exp.Runner{
-		Workers:  s.workers,
+		Workers:  pool,
 		Cache:    s.flight,
-		Sem:      s.sem,
+		Dispatch: s.coord,
 		Interval: interval,
 		OnJobDone: func(j exp.Job, r smt.Results, fromCache bool) {
 			s.mu.Lock()
@@ -343,12 +501,19 @@ func (s *Server) startSweep(e exp.Experiment, o exp.Opts, totalJobs int, interva
 				sw.cacheHits++
 			}
 			delete(sw.running, jobKey(j))
+			sw.finished[jobKey(j)] = true
 		},
 	}
 	if interval > 0 {
 		runner.OnSnapshot = func(j exp.Job, snap smt.Snapshot) {
 			s.mu.Lock()
 			defer s.mu.Unlock()
+			if sw.finished[jobKey(j)] {
+				// A snapshot posted by a remote worker can land after the
+				// job's result was delivered; re-creating the running entry
+				// would show a phantom in-flight job on a finished sweep.
+				return
+			}
 			jp, ok := sw.running[jobKey(j)]
 			if !ok {
 				jp = &jobProgress{Point: j.Point, Run: j.Run, Series: j.Spec.Series, Label: j.Spec.Label}

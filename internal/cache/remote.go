@@ -1,0 +1,89 @@
+package cache
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+)
+
+// Remote is an HTTP client for another process's content-addressed store —
+// the worker's view of its coordinator's cache in a distributed sweep.
+// GET {base}/v1/cache/{key} peeks, PUT {base}/v1/cache/{key} fills; both
+// carry the value as JSON. It satisfies Getter[V], so anything that takes
+// a local store (the experiment runner's JobCache, a Flight wrapper) takes
+// a Remote unchanged.
+//
+// Failure degrades, never breaks: a network error or non-200 peek is a
+// miss, a failed fill is dropped. Determinism makes that safe — a missed
+// peek only costs a re-simulation that produces identical bytes.
+//
+// Values round-trip through encoding/json, which is exact for the metric
+// types in use (Go emits the shortest float representation that decodes
+// back to the same float64), so a remotely cached result is byte-identical
+// to a locally computed one when re-encoded.
+type Remote[V any] struct {
+	base   string
+	client *http.Client
+}
+
+// NewRemote builds a remote cache client against base (scheme://host:port,
+// with or without a trailing slash). A nil client gets a dedicated one
+// with a conservative timeout — cache traffic must never wedge a worker.
+func NewRemote[V any](base string, client *http.Client) *Remote[V] {
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	return &Remote[V]{base: strings.TrimRight(base, "/"), client: client}
+}
+
+func (r *Remote[V]) keyURL(key string) string {
+	return r.base + "/v1/cache/" + url.PathEscape(key)
+}
+
+// Get peeks the remote store. Any failure — transport, status, decode —
+// reports a miss.
+func (r *Remote[V]) Get(key string) (V, bool) {
+	var zero V
+	resp, err := r.client.Get(r.keyURL(key))
+	if err != nil {
+		return zero, false
+	}
+	defer drain(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return zero, false
+	}
+	var v V
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		return zero, false
+	}
+	return v, true
+}
+
+// Put fills the remote store; failures are dropped.
+func (r *Remote[V]) Put(key string, v V) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	req, err := http.NewRequest(http.MethodPut, r.keyURL(key), bytes.NewReader(body))
+	if err != nil {
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return
+	}
+	drain(resp.Body)
+}
+
+// drain consumes and closes a response body so the transport can reuse
+// the connection.
+func drain(body io.ReadCloser) {
+	io.Copy(io.Discard, body)
+	body.Close()
+}

@@ -1,0 +1,689 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/exp"
+	"repro/smt"
+)
+
+// Options configures a Coordinator. The zero value works: sensible
+// timings, in-process execution fallback via SimulateJob, no logging.
+type Options struct {
+	// Exec is the local execution fallback, used when no workers are
+	// registered or a job exhausts its remote attempts. Defaults to
+	// SimulateJob — the same kernel workers run.
+	Exec Exec
+	// LocalSlots, when non-nil, bounds concurrent local-fallback
+	// executions (the smtd service passes its global simulation
+	// semaphore, so fallback obeys the same -workers limit sweeps did
+	// before distribution existed).
+	LocalSlots chan struct{}
+	// LeaseTTL is how long a worker may go silent — no heartbeat, poll,
+	// snapshot, or result — before it is declared dead and its leased
+	// jobs are requeued. Default 15s.
+	LeaseTTL time.Duration
+	// PollWait is how long /v1/work/next may hold a long poll before
+	// answering 204. Default 2s.
+	PollWait time.Duration
+	// SweepEvery is the lease janitor's cadence. Default LeaseTTL/4.
+	SweepEvery time.Duration
+	// MaxAttempts caps how many workers a job is leased to before the
+	// coordinator executes it locally instead — a circuit breaker against
+	// a job that kills every worker it lands on. Default 3.
+	MaxAttempts int
+	// ServesCache is advertised to registering workers: the coordinator's
+	// HTTP surface also exposes GET/PUT /v1/cache/{key}, so workers
+	// should peek it before simulating.
+	ServesCache bool
+	// Build is the coordinator's binary identity; defaults to BuildID().
+	// Registration rejects workers whose (known) build differs — a
+	// version-skewed worker would silently break byte-identity and poison
+	// the shared content-addressed cache.
+	Build string
+	// Logf receives scheduler events (worker joins/deaths, requeues).
+	// Nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Exec == nil {
+		o.Exec = SimulateJob
+	}
+	if o.LeaseTTL <= 0 {
+		o.LeaseTTL = 15 * time.Second
+	}
+	if o.PollWait <= 0 {
+		o.PollWait = 2 * time.Second
+	}
+	if o.SweepEvery <= 0 {
+		o.SweepEvery = o.LeaseTTL / 4
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 3
+	}
+	if o.Build == "" {
+		o.Build = BuildID()
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// Coordinator shards jobs across registered workers and implements
+// exp.Dispatcher, so an exp.Runner plugs it in as its execution backend.
+// With no workers registered every job transparently executes locally;
+// with workers, jobs are leased over a pull protocol with requeue on
+// worker death, spilling to bounded local slots (LocalSlots) when the
+// fleet already has a full backlog — local capacity adds to the cluster
+// instead of idling behind it. Backpressure is inherited from the
+// runner: each of the runner's pool goroutines dispatches one job and
+// blocks for its result, so at most pool-size jobs are in flight per
+// sweep.
+type Coordinator struct {
+	opts   Options
+	closed chan struct{}
+
+	mu         sync.Mutex
+	workers    map[string]*workerState
+	pending    []*task          // FIFO; requeues go to the front
+	tasks      map[string]*task // every undelivered dispatched task
+	wake       chan struct{}    // closed and replaced whenever pending grows
+	nextWorker int64
+	nextTask   int64
+
+	dispatched      int64
+	remoteDone      int64
+	localDone       int64
+	requeues        int64
+	remoteCacheHits int64
+}
+
+type workerState struct {
+	id        string
+	name      string
+	slots     int
+	lastSeen  time.Time
+	running   map[string]*task
+	completed int64
+}
+
+// task is one dispatched job waiting for a result.
+type task struct {
+	id      string
+	payload JobPayload
+	onSnap  func(smt.Snapshot)
+	ctx     context.Context // the dispatching sweep's context
+
+	attempts   int    // remote leases granted so far
+	assignedTo string // worker id; "" while pending
+	local      bool   // fell back to coordinator-local execution
+	deadline   time.Time
+	done       bool
+	cancelled  bool
+	result     chan smt.Results // buffered 1; sent exactly once
+}
+
+// NewCoordinator builds a coordinator and starts its lease janitor; call
+// Close to stop it.
+func NewCoordinator(opts Options) *Coordinator {
+	c := &Coordinator{
+		opts:    opts.withDefaults(),
+		closed:  make(chan struct{}),
+		workers: map[string]*workerState{},
+		tasks:   map[string]*task{},
+		wake:    make(chan struct{}),
+	}
+	go c.janitor()
+	return c
+}
+
+// Close stops the lease janitor and releases parked long-polls. Dispatch
+// must not be called after Close.
+func (c *Coordinator) Close() {
+	select {
+	case <-c.closed:
+	default:
+		close(c.closed)
+	}
+}
+
+// Handle registers the coordinator's worker-facing routes on mux.
+func (c *Coordinator) Handle(mux *http.ServeMux) {
+	mux.HandleFunc("POST /v1/workers", c.handleRegister)
+	mux.HandleFunc("GET /v1/workers", c.handleWorkers)
+	mux.HandleFunc("DELETE /v1/workers/{id}", c.handleDeregister)
+	mux.HandleFunc("POST /v1/workers/{id}/heartbeat", c.handleHeartbeat)
+	mux.HandleFunc("POST /v1/work/next", c.handlePoll)
+	mux.HandleFunc("POST /v1/work/result", c.handleResult)
+	mux.HandleFunc("POST /v1/work/snapshot", c.handleSnapshot)
+}
+
+// Dispatch implements exp.Dispatcher: derive the job's wire payload, hand
+// it to the worker fleet (or run it locally when there is none), and
+// block until its results arrive, the job's lease machinery having
+// survived any worker deaths in between.
+func (c *Coordinator) Dispatch(ctx context.Context, j exp.Job, o exp.Opts, interval int64, onSnap func(smt.Snapshot)) (smt.Results, error) {
+	o = o.Normalized()
+	p := JobPayload{
+		Key:      j.Key(o),
+		Config:   j.Spec.Config,
+		Run:      j.Run,
+		Seed:     exp.JobSeed(o.Seed, j.Run),
+		Warmup:   o.Warmup,
+		Measure:  o.Measure,
+		Interval: interval,
+	}
+
+	c.mu.Lock()
+	c.dispatched++
+	capacity := c.capacityLocked()
+	if capacity == 0 {
+		c.mu.Unlock()
+		res, err := c.runLocal(ctx, p, onSnap)
+		if err == nil {
+			c.mu.Lock()
+			c.localDone++
+			c.mu.Unlock()
+		}
+		return res, err
+	}
+	// Local spill: when the fleet already has a full backlog (live
+	// pending >= capacity) and a bounded local slot is free right now,
+	// run here instead of queueing — so the coordinator's own slots ADD
+	// to cluster capacity rather than idling behind it. Only metered
+	// local execution spills; with no LocalSlots bound there is no way
+	// to know how much local work is safe, so everything stays remote.
+	if c.opts.LocalSlots != nil && c.pendingLocked() >= capacity {
+		select {
+		case c.opts.LocalSlots <- struct{}{}:
+			c.mu.Unlock()
+			res := c.opts.Exec(p, onSnap)
+			<-c.opts.LocalSlots
+			c.mu.Lock()
+			c.localDone++
+			c.mu.Unlock()
+			return res, nil
+		default:
+			// No local slot free; queue for the fleet.
+		}
+	}
+	c.nextTask++
+	t := &task{
+		id:      fmt.Sprintf("t%d", c.nextTask),
+		payload: p,
+		onSnap:  onSnap,
+		ctx:     ctx,
+		result:  make(chan smt.Results, 1),
+	}
+	c.tasks[t.id] = t
+	c.pending = append(c.pending, t)
+	c.wakeLocked()
+	c.mu.Unlock()
+
+	select {
+	case res := <-t.result:
+		return res, nil
+	case <-ctx.Done():
+		if c.drop(t) {
+			// A delivery committed before the cancel took hold; its send
+			// into the buffered channel is imminent, so take it.
+			return <-t.result, nil
+		}
+		return smt.Results{}, ctx.Err()
+	}
+}
+
+// Capacity returns the number of simulation slots live workers offer.
+// Sweep schedulers use it to size their dispatch pools.
+func (c *Coordinator) Capacity() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.capacityLocked()
+}
+
+func (c *Coordinator) capacityLocked() int {
+	n := 0
+	for _, w := range c.workers {
+		n += w.slots
+	}
+	return n
+}
+
+// pendingLocked counts live queued tasks, skipping done/cancelled
+// entries that drop() leaves behind for lazy removal — a cancelled
+// sweep's debris must not read as backlog.
+func (c *Coordinator) pendingLocked() int {
+	n := 0
+	for _, t := range c.pending {
+		if !t.done && !t.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+// Stats snapshots the scheduler for observability and tests.
+func (c *Coordinator) Stats() Status {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := Status{
+		Workers:         make([]WorkerInfo, 0, len(c.workers)),
+		Capacity:        c.capacityLocked(),
+		Pending:         c.pendingLocked(),
+		Dispatched:      c.dispatched,
+		RemoteDone:      c.remoteDone,
+		LocalDone:       c.localDone,
+		Requeues:        c.requeues,
+		RemoteCacheHits: c.remoteCacheHits,
+	}
+	for _, t := range c.tasks {
+		if t.assignedTo != "" && !t.done && !t.cancelled {
+			st.Assigned++
+		}
+	}
+	for _, w := range c.workers {
+		st.Workers = append(st.Workers, WorkerInfo{
+			ID:        w.id,
+			Name:      w.name,
+			Slots:     w.slots,
+			Running:   len(w.running),
+			Completed: w.completed,
+			LastSeen:  w.lastSeen.UTC().Format(time.RFC3339Nano),
+		})
+	}
+	sort.Slice(st.Workers, func(i, j int) bool { return st.Workers[i].ID < st.Workers[j].ID })
+	return st
+}
+
+// wakeLocked releases every parked long-poll so it re-checks the queue.
+func (c *Coordinator) wakeLocked() {
+	close(c.wake)
+	c.wake = make(chan struct{})
+}
+
+// popPendingLocked returns the next dispatchable task, discarding
+// cancelled ones lazily.
+func (c *Coordinator) popPendingLocked() *task {
+	for len(c.pending) > 0 {
+		t := c.pending[0]
+		c.pending = c.pending[1:]
+		if t.done || t.cancelled {
+			continue
+		}
+		return t
+	}
+	return nil
+}
+
+// deliver completes a task exactly once. workerID is "" for local
+// execution. It reports whether this call won the delivery.
+func (c *Coordinator) deliver(t *task, res smt.Results, workerID string, fromCache bool) bool {
+	c.mu.Lock()
+	if t.done || t.cancelled {
+		c.mu.Unlock()
+		return false
+	}
+	t.done = true
+	delete(c.tasks, t.id)
+	if w := c.workers[t.assignedTo]; w != nil {
+		delete(w.running, t.id)
+	}
+	if workerID != "" {
+		if w := c.workers[workerID]; w != nil {
+			w.completed++
+		}
+		c.remoteDone++
+		if fromCache {
+			c.remoteCacheHits++
+		}
+	} else {
+		c.localDone++
+	}
+	c.mu.Unlock()
+	t.result <- res
+	return true
+}
+
+// drop abandons a cancelled dispatch. It reports true when a delivery
+// already committed (the result is, or is about to be, in the channel).
+func (c *Coordinator) drop(t *task) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t.done {
+		return true
+	}
+	t.cancelled = true
+	delete(c.tasks, t.id)
+	if w := c.workers[t.assignedTo]; w != nil {
+		delete(w.running, t.id)
+	}
+	return false
+}
+
+// runLocal executes a payload in-process, honoring the local slot bound
+// and the dispatch context while waiting for one.
+func (c *Coordinator) runLocal(ctx context.Context, p JobPayload, onSnap func(smt.Snapshot)) (smt.Results, error) {
+	if c.opts.LocalSlots != nil {
+		select {
+		case c.opts.LocalSlots <- struct{}{}:
+			defer func() { <-c.opts.LocalSlots }()
+		case <-ctx.Done():
+			return smt.Results{}, ctx.Err()
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return smt.Results{}, err
+	}
+	return c.opts.Exec(p, onSnap), nil
+}
+
+// runLocalTask is the requeue fallback: execute a task locally and
+// deliver it. Cancellation needs no handling here — the dispatching
+// goroutine observes its own context.
+func (c *Coordinator) runLocalTask(t *task) {
+	res, err := c.runLocal(t.ctx, t.payload, t.onSnap)
+	if err != nil {
+		return
+	}
+	c.deliver(t, res, "", false)
+}
+
+// drainPendingToLocalLocked sends every queued, unassigned task to local
+// execution. It must run whenever the worker set becomes empty: pending
+// tasks are only ever handed out by worker polls, so with no workers
+// left they would otherwise sit in the queue forever — a sweep dispatched
+// while a fleet existed must not hang because the fleet left.
+func (c *Coordinator) drainPendingToLocalLocked() {
+	for {
+		t := c.popPendingLocked()
+		if t == nil {
+			return
+		}
+		t.local = true
+		c.opts.Logf("dist: job %s (%s) falling back to local execution; no workers remain", t.id, t.payload.Key)
+		go c.runLocalTask(t)
+	}
+}
+
+// requeueLocked returns a leased task to the queue after its worker died
+// or its lease expired. Jobs that exhausted their remote attempts — or
+// have no workers left to run on — fall back to local execution so a
+// sweep always completes.
+func (c *Coordinator) requeueLocked(t *task) {
+	if t.done || t.cancelled || t.local {
+		return
+	}
+	if w := c.workers[t.assignedTo]; w != nil {
+		delete(w.running, t.id)
+	}
+	t.assignedTo = ""
+	c.requeues++
+	if t.attempts >= c.opts.MaxAttempts || c.capacityLocked() == 0 {
+		t.local = true
+		c.opts.Logf("dist: job %s (%s) falling back to local execution after %d remote attempt(s)",
+			t.id, t.payload.Key, t.attempts)
+		go c.runLocalTask(t)
+		return
+	}
+	c.pending = append([]*task{t}, c.pending...)
+	c.wakeLocked()
+}
+
+// janitor periodically expires silent workers and stale leases.
+func (c *Coordinator) janitor() {
+	tick := time.NewTicker(c.opts.SweepEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.closed:
+			return
+		case now := <-tick.C:
+			c.expire(now)
+		}
+	}
+}
+
+// expire removes workers silent for longer than the lease TTL and
+// requeues their jobs, plus any individually expired task leases.
+func (c *Coordinator) expire(now time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	stale := map[*task]bool{}
+	for id, w := range c.workers {
+		if now.Sub(w.lastSeen) > c.opts.LeaseTTL {
+			c.opts.Logf("dist: worker %s (%s) silent for %v; removing and requeueing %d job(s)",
+				id, w.name, now.Sub(w.lastSeen).Round(time.Millisecond), len(w.running))
+			for _, t := range w.running {
+				stale[t] = true
+			}
+			delete(c.workers, id)
+		}
+	}
+	for _, t := range c.tasks {
+		if t.assignedTo != "" && !t.local && !t.done && !t.cancelled && now.After(t.deadline) {
+			stale[t] = true
+		}
+	}
+	for t := range stale {
+		c.requeueLocked(t)
+	}
+	if len(c.workers) == 0 {
+		c.drainPendingToLocalLocked()
+	}
+}
+
+func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req RegisterRequest
+	if !decodeInto(w, r, &req) {
+		return
+	}
+	if req.Slots <= 0 {
+		httpError(w, http.StatusBadRequest, "slots %d must be positive", req.Slots)
+		return
+	}
+	if req.Build != "" && c.opts.Build != "" && req.Build != c.opts.Build {
+		httpError(w, http.StatusConflict,
+			"worker build %q does not match coordinator build %q; distributed results must come from identical binaries",
+			req.Build, c.opts.Build)
+		return
+	}
+	c.mu.Lock()
+	c.nextWorker++
+	ws := &workerState{
+		id:       fmt.Sprintf("w%d", c.nextWorker),
+		name:     req.Name,
+		slots:    req.Slots,
+		lastSeen: time.Now(),
+		running:  map[string]*task{},
+	}
+	c.workers[ws.id] = ws
+	c.mu.Unlock()
+	c.opts.Logf("dist: worker %s (%s) joined with %d slot(s)", ws.id, ws.name, ws.slots)
+	httpJSON(w, http.StatusOK, RegisterResponse{
+		WorkerID:     ws.id,
+		LeaseTTLMS:   c.opts.LeaseTTL.Milliseconds(),
+		PollWaitMS:   c.opts.PollWait.Milliseconds(),
+		Coordinator:  "smtd",
+		CacheEnabled: c.opts.ServesCache,
+	})
+}
+
+func (c *Coordinator) handleDeregister(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	c.mu.Lock()
+	ws, ok := c.workers[id]
+	if ok {
+		delete(c.workers, id)
+		for _, t := range ws.running {
+			c.requeueLocked(t)
+		}
+		if len(c.workers) == 0 {
+			c.drainPendingToLocalLocked()
+		}
+	}
+	c.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown worker %q", id)
+		return
+	}
+	c.opts.Logf("dist: worker %s (%s) left", ws.id, ws.name)
+	httpJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	now := time.Now()
+	c.mu.Lock()
+	ws, ok := c.workers[id]
+	if ok {
+		ws.lastSeen = now
+		for _, t := range ws.running {
+			t.deadline = now.Add(c.opts.LeaseTTL)
+		}
+	}
+	c.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown worker %q; re-register", id)
+		return
+	}
+	httpJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+func (c *Coordinator) handleWorkers(w http.ResponseWriter, r *http.Request) {
+	httpJSON(w, http.StatusOK, c.Stats())
+}
+
+// handlePoll long-polls for the next job: it answers immediately when the
+// queue has work, otherwise parks until an enqueue, the poll-wait
+// deadline, disconnect, or coordinator shutdown.
+func (c *Coordinator) handlePoll(w http.ResponseWriter, r *http.Request) {
+	var req PollRequest
+	if !decodeInto(w, r, &req) {
+		return
+	}
+	deadline := time.Now().Add(c.opts.PollWait)
+	for {
+		now := time.Now()
+		c.mu.Lock()
+		ws, ok := c.workers[req.WorkerID]
+		if !ok {
+			c.mu.Unlock()
+			httpError(w, http.StatusNotFound, "unknown worker %q; re-register", req.WorkerID)
+			return
+		}
+		ws.lastSeen = now
+		if t := c.popPendingLocked(); t != nil {
+			t.assignedTo = ws.id
+			t.attempts++
+			t.deadline = now.Add(c.opts.LeaseTTL)
+			ws.running[t.id] = t
+			c.mu.Unlock()
+			httpJSON(w, http.StatusOK, Assignment{TaskID: t.id, Job: t.payload})
+			return
+		}
+		wake := c.wake
+		c.mu.Unlock()
+
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		timer := time.NewTimer(remain)
+		select {
+		case <-wake:
+			timer.Stop()
+		case <-timer.C:
+			w.WriteHeader(http.StatusNoContent)
+			return
+		case <-r.Context().Done():
+			timer.Stop()
+			return
+		case <-c.closed:
+			timer.Stop()
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+	}
+}
+
+// handleResult accepts a finished job. Stale posts — the task was
+// cancelled, already completed by another worker, or reassigned and
+// finished elsewhere — are acknowledged and discarded: determinism makes
+// every copy of a result interchangeable, and exactly one delivery per
+// dispatch is guaranteed by deliver.
+func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
+	var req ResultRequest
+	if !decodeInto(w, r, &req) {
+		return
+	}
+	now := time.Now()
+	c.mu.Lock()
+	if ws := c.workers[req.WorkerID]; ws != nil {
+		ws.lastSeen = now
+	}
+	t := c.tasks[req.TaskID]
+	c.mu.Unlock()
+	// A task that was requeued into local fallback can still receive its
+	// original worker's result; determinism makes the copies identical,
+	// so whichever lands first wins — deliver re-checks completion under
+	// the lock, making the race benign.
+	accepted := false
+	if t != nil {
+		accepted = c.deliver(t, req.Results, req.WorkerID, req.FromCache)
+	}
+	httpJSON(w, http.StatusOK, map[string]bool{"accepted": accepted})
+}
+
+// handleSnapshot forwards one interval snapshot to the dispatching
+// sweep's observer and renews the job's lease — a worker deep in a long
+// simulation proves liveness by the snapshots themselves. Only the
+// current assignee's snapshots are forwarded, so a presumed-dead worker
+// that is still simulating cannot interleave with its replacement.
+func (c *Coordinator) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	var req SnapshotRequest
+	if !decodeInto(w, r, &req) {
+		return
+	}
+	now := time.Now()
+	c.mu.Lock()
+	if ws := c.workers[req.WorkerID]; ws != nil {
+		ws.lastSeen = now
+	}
+	var onSnap func(smt.Snapshot)
+	if t := c.tasks[req.TaskID]; t != nil && !t.done && !t.cancelled && t.assignedTo == req.WorkerID {
+		t.deadline = now.Add(c.opts.LeaseTTL)
+		onSnap = t.onSnap
+	}
+	c.mu.Unlock()
+	if onSnap != nil {
+		onSnap(req.Snapshot)
+	}
+	httpJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+func decodeInto(w http.ResponseWriter, r *http.Request, v any) bool {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid body: %v", err)
+		return false
+	}
+	return true
+}
+
+func httpJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	httpJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,161 @@
+// Package dist distributes experiment sweeps across processes: a
+// coordinator shards a sweep's content-addressed jobs over registered
+// workers, and workers pull jobs, simulate them, and stream snapshots and
+// results back over HTTP.
+//
+// The unit of distribution is the experiment engine's Job — a
+// deterministic, content-addressed simulation — so distribution is
+// invisible in the output: a sweep executed across N worker nodes
+// produces canonical result JSON byte-identical to the same sweep run in
+// one process. Three properties carry that guarantee end to end:
+//
+//  1. Workers run the exact same measurement kernel (exp.Simulate) the
+//     local runner runs, on a payload that carries everything the kernel
+//     reads: config, rotation, seed, budgets.
+//  2. smt.Config and smt.Results survive their JSON round-trip exactly
+//     (policy names are strings; Go's float encoding round-trips).
+//  3. Aggregation stays on the coordinator and walks jobs in index order,
+//     exactly as a local run does, whatever order results arrive in.
+//
+// The protocol is pull-based: workers register (POST /v1/workers), then
+// long-poll for work (POST /v1/work/next), post interval snapshots
+// (POST /v1/work/snapshot) and results (POST /v1/work/result), and
+// heartbeat (POST /v1/workers/{id}/heartbeat). Every assignment carries a
+// lease; a worker that stops heartbeating — crashed, partitioned, killed —
+// has its in-flight jobs requeued to surviving workers, falling back to
+// local execution on the coordinator when none remain. Identical jobs
+// never execute twice across the cluster: sweeps dedupe through the
+// coordinator's singleflight cache before dispatch, and workers peek the
+// coordinator's content-addressed store (GET /v1/cache/{key}) before
+// simulating.
+package dist
+
+import (
+	"runtime/debug"
+
+	"repro/internal/exp"
+	"repro/smt"
+)
+
+// BuildID identifies this binary for protocol compatibility: the VCS
+// revision when the build was stamped with one, else the module version,
+// else "" (un-stamped dev and test binaries). The byte-identity guarantee
+// only holds when coordinator and workers run the same simulator, so
+// registration rejects a worker whose known build differs from the
+// coordinator's known build; unknown builds are accepted (they cannot be
+// verified, and in-process test clusters share the binary anyway).
+func BuildID() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return ""
+	}
+	for _, s := range bi.Settings {
+		if s.Key == "vcs.revision" {
+			return s.Value
+		}
+	}
+	if v := bi.Main.Version; v != "" && v != "(devel)" {
+		return v
+	}
+	return ""
+}
+
+// JobPayload is the wire form of one simulation job: everything a worker
+// needs to reproduce exactly what the coordinator's local runner would
+// compute. Key is the job's content address, already derived by the
+// coordinator — workers treat it as opaque.
+type JobPayload struct {
+	Key      string     `json:"key"`
+	Config   smt.Config `json:"config"`
+	Run      int        `json:"run"`      // benchmark rotation index
+	Seed     uint64     `json:"seed"`     // derived workload seed (exp.JobSeed applied)
+	Warmup   int64      `json:"warmup"`   // committed instructions before measurement
+	Measure  int64      `json:"measure"`  // measured committed instructions per thread
+	Interval int64      `json:"interval"` // snapshot cadence in cycles; 0 = no streaming
+}
+
+// Exec runs one job payload to completion, forwarding interval snapshots
+// to onSnap when the payload asks for them (onSnap may be nil).
+type Exec func(p JobPayload, onSnap func(smt.Snapshot)) smt.Results
+
+// SimulateJob is the canonical Exec: the experiment engine's own
+// measurement kernel applied to the payload. The coordinator's local
+// fallback and every worker default to it, which is what makes
+// distributed results byte-identical to local ones.
+func SimulateJob(p JobPayload, onSnap func(smt.Snapshot)) smt.Results {
+	return exp.Simulate(p.Config, p.Run, p.Seed, exp.Opts{Runs: 1, Warmup: p.Warmup, Measure: p.Measure, Seed: p.Seed}, p.Interval, onSnap)
+}
+
+// RegisterRequest announces a worker to the coordinator.
+type RegisterRequest struct {
+	Name  string `json:"name"`  // display name, e.g. the worker's hostname
+	Slots int    `json:"slots"` // concurrent simulations the worker runs
+	Build string `json:"build,omitempty"` // worker BuildID; mismatch with a known coordinator build is rejected
+}
+
+// RegisterResponse assigns the worker its identity and protocol timings.
+type RegisterResponse struct {
+	WorkerID     string `json:"worker_id"`
+	LeaseTTLMS   int64  `json:"lease_ttl_ms"`  // heartbeat at least this often / 3
+	PollWaitMS   int64  `json:"poll_wait_ms"`  // how long /v1/work/next may hold
+	Coordinator  string `json:"coordinator"`   // human-readable identity echo
+	CacheEnabled bool   `json:"cache_enabled"` // coordinator serves /v1/cache/{key}
+}
+
+// PollRequest asks for the next job; the call long-polls up to the
+// coordinator's poll wait and returns 204 when no work arrived.
+type PollRequest struct {
+	WorkerID string `json:"worker_id"`
+}
+
+// Assignment hands one leased job to a worker.
+type Assignment struct {
+	TaskID string     `json:"task_id"`
+	Job    JobPayload `json:"job"`
+}
+
+// ResultRequest reports a finished job. FromCache marks results the
+// worker served from the coordinator's cache (a remote peek hit) rather
+// than simulating.
+type ResultRequest struct {
+	WorkerID  string      `json:"worker_id"`
+	TaskID    string      `json:"task_id"`
+	Key       string      `json:"key"`
+	FromCache bool        `json:"from_cache,omitempty"`
+	Results   smt.Results `json:"results"`
+}
+
+// SnapshotRequest streams one interval snapshot of a running job back to
+// the coordinator, which forwards it to the sweep's observer. Snapshot
+// posts also renew the task's lease — a worker mid-simulation is alive
+// even between heartbeats.
+type SnapshotRequest struct {
+	WorkerID string       `json:"worker_id"`
+	TaskID   string       `json:"task_id"`
+	Snapshot smt.Snapshot `json:"snapshot"`
+}
+
+// WorkerInfo describes one registered worker in GET /v1/workers.
+type WorkerInfo struct {
+	ID        string `json:"id"`
+	Name      string `json:"name"`
+	Slots     int    `json:"slots"`
+	Running   int    `json:"running"`
+	Completed int64  `json:"completed"`
+	LastSeen  string `json:"last_seen"` // RFC 3339
+}
+
+// Status is the coordinator's aggregate view: GET /v1/workers wraps the
+// worker list with scheduler counters so one call answers "is the cluster
+// healthy and is work flowing".
+type Status struct {
+	Workers         []WorkerInfo `json:"workers"`
+	Capacity        int          `json:"capacity"`          // sum of live worker slots
+	Pending         int          `json:"pending"`           // queued, unassigned jobs
+	Assigned        int          `json:"assigned"`          // leased to a worker right now
+	Dispatched      int64        `json:"dispatched"`        // jobs ever handed to the scheduler
+	RemoteDone      int64        `json:"remote_done"`       // completed by a worker
+	LocalDone       int64        `json:"local_done"`        // completed by coordinator fallback
+	Requeues        int64        `json:"requeues"`          // lease expiries / worker deaths
+	RemoteCacheHits int64        `json:"remote_cache_hits"` // worker results served from coordinator cache
+}

@@ -1,0 +1,127 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/exp"
+)
+
+// benchReport is the BENCH_dist.json schema: the perf-trajectory record
+// comparing sweep throughput in-process vs through a 2-worker cluster on
+// the same machine. On one host the distributed figure mostly prices the
+// protocol (HTTP hops, JSON, scheduling) — the scaling win appears when
+// workers run on other machines, which a single-host benchmark cannot
+// show. Tracking the local-vs-distributed gap over time still catches
+// regressions in either path.
+type benchReport struct {
+	Bench   string    `json:"bench"`
+	Date    string    `json:"date"`
+	Jobs    int       `json:"jobs"`
+	Threads int       `json:"threads"`
+	Measure int64     `json:"measure"`
+	Local   benchSide `json:"local"`
+	Dist    benchSide `json:"distributed"`
+}
+
+type benchSide struct {
+	Workers    int     `json:"workers"`
+	Slots      int     `json:"slots,omitempty"`
+	Seconds    float64 `json:"seconds"`
+	JobsPerSec float64 `json:"jobs_per_sec"`
+}
+
+// benchGrid is a wider grid than testGrid so throughput numbers average
+// over enough jobs to mean something while staying CI-cheap.
+func benchGrid() exp.Experiment {
+	var specs []exp.PointSpec
+	for _, alg := range []string{"RR", "BRCOUNT", "MISSCOUNT", "ICOUNT", "IQPOSN"} {
+		for _, num1 := range []int{1, 2} {
+			cfg := exp.MustFetchScheme(2, alg, num1, 8)
+			specs = append(specs, exp.PointSpec{Series: alg, Label: cfg.FetchName(), Threads: 2, Config: cfg})
+		}
+	}
+	return exp.Experiment{
+		Name:   "distbench",
+		Title:  "distributed throughput grid",
+		Shape:  exp.Shape{Series: 5, Points: len(specs)},
+		Points: func() []exp.PointSpec { return specs },
+	}
+}
+
+// TestThroughput measures jobs/sec for the same sweep run locally and
+// through a coordinator + 2 in-process workers, and writes the
+// comparison to $BENCH_DIST_OUT (CI points it at BENCH_dist.json). It
+// always runs — it doubles as an end-to-end load smoke — but only
+// writes when asked.
+func TestThroughput(t *testing.T) {
+	e := benchGrid()
+	o := exp.Opts{Runs: 2, Warmup: 200, Measure: 1500, Seed: 1}
+	jobs := len(e.Points()) * o.Runs
+	localWorkers := runtime.GOMAXPROCS(0)
+
+	timeRun := func(r exp.Runner) float64 {
+		t.Helper()
+		start := time.Now()
+		if _, err := r.RunExperiment(context.Background(), e, o); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start).Seconds()
+	}
+
+	localSec := timeRun(exp.Runner{Workers: localWorkers})
+
+	coord, url := newTestCoordinator(t, Options{})
+	const nodes, slotsPer = 2, 2
+	for i := 0; i < nodes; i++ {
+		w := NewWorker(WorkerOptions{
+			Coordinator: url,
+			Name:        fmt.Sprintf("bench%d", i),
+			Slots:       slotsPer,
+			Backoff:     50 * time.Millisecond,
+		})
+		defer startWorker(t, w)()
+	}
+	waitFor(t, "bench workers to register", func() bool { return coord.Capacity() == nodes*slotsPer })
+	distSec := timeRun(exp.Runner{Workers: nodes * slotsPer, Dispatch: coord})
+
+	rep := benchReport{
+		Bench:   "dist_sweep_throughput",
+		Date:    time.Now().UTC().Format("2006-01-02"),
+		Jobs:    jobs,
+		Threads: 2,
+		Measure: o.Measure,
+		Local:   benchSide{Workers: localWorkers, Seconds: round3(localSec), JobsPerSec: round3(float64(jobs) / localSec)},
+		Dist:    benchSide{Workers: nodes, Slots: nodes * slotsPer, Seconds: round3(distSec), JobsPerSec: round3(float64(jobs) / distSec)},
+	}
+	t.Logf("local: %d jobs in %.3fs (%.1f jobs/s); distributed 2-worker: %.3fs (%.1f jobs/s)",
+		jobs, localSec, rep.Local.JobsPerSec, distSec, rep.Dist.JobsPerSec)
+
+	out := os.Getenv("BENCH_DIST_OUT")
+	if out == "" {
+		t.Log("BENCH_DIST_OUT unset; not writing BENCH_dist.json")
+		return
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", out)
+}
+
+func round3(v float64) float64 {
+	return float64(int64(v*1000+0.5)) / 1000
+}

@@ -1,0 +1,482 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cache"
+	"repro/smt"
+)
+
+// ResultCache is the worker's view of a shared content-addressed result
+// store; cache.Remote[smt.Results] pointed at the coordinator satisfies
+// it, as does any local store.
+type ResultCache = cache.Getter[smt.Results]
+
+// WorkerOptions configures a Worker.
+type WorkerOptions struct {
+	// Coordinator is the coordinator's base URL (http://host:port).
+	Coordinator string
+	// Name labels the worker in the coordinator's registry; default
+	// "worker".
+	Name string
+	// Slots is how many simulations run concurrently; <=0 means
+	// runtime.GOMAXPROCS(0).
+	Slots int
+	// Exec runs one job payload; default SimulateJob.
+	Exec Exec
+	// Cache, when non-nil, is peeked before simulating and filled after.
+	// When nil and the coordinator advertises a cache, a
+	// cache.Remote[smt.Results] against the coordinator is used
+	// automatically — the shared-cache path needs no configuration.
+	Cache ResultCache
+	// Client is the HTTP client used for every coordinator call,
+	// including long polls — so a custom client's Timeout must exceed the
+	// coordinator's PollWait. When nil, ordinary calls get a 30s-timeout
+	// default and long polls get a dedicated timeout-free client bounded
+	// per-request at PollWait plus a margin.
+	Client *http.Client
+	// Backoff is the retry pause after a failed coordinator call;
+	// default 500ms.
+	Backoff time.Duration
+	// Build is the worker's binary identity sent at registration;
+	// defaults to BuildID().
+	Build string
+	// Logf receives worker events; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// Worker pulls jobs from a coordinator, simulates them with the engine's
+// canonical kernel, and streams snapshots and results back. Cancelling
+// the context passed to Run drains the worker: in-flight simulations run
+// to completion and post their results, then the worker deregisters —
+// a SIGTERM'd node never strands a lease until expiry.
+type Worker struct {
+	opts       WorkerOptions
+	base       string
+	client     *http.Client
+	pollClient *http.Client // no global timeout; polls are bounded per-request
+	logf       func(string, ...any)
+
+	// regMu serializes (re-)registration so a coordinator that forgot us
+	// triggers exactly one rejoin, not one per loop that sees the 404 —
+	// a storm would register N ghost identities advertising N slots each.
+	regMu sync.Mutex
+
+	draining atomic.Bool // run ctx cancelled: no new identities, no new jobs
+
+	mu       sync.Mutex
+	id       string
+	leaseTTL time.Duration
+	pollWait time.Duration
+	cache    ResultCache
+	done     int64 // jobs whose results were delivered (simulated or cache-served)
+	fatal    error // permanent rejection observed mid-run (build mismatch)
+}
+
+func (w *Worker) setFatal(err error) {
+	w.mu.Lock()
+	if w.fatal == nil {
+		w.fatal = err
+	}
+	w.mu.Unlock()
+}
+
+// NewWorker builds a worker; Run starts it.
+func NewWorker(opts WorkerOptions) *Worker {
+	if opts.Name == "" {
+		opts.Name = "worker"
+	}
+	if opts.Slots <= 0 {
+		opts.Slots = runtime.GOMAXPROCS(0)
+	}
+	if opts.Exec == nil {
+		opts.Exec = SimulateJob
+	}
+	if opts.Backoff <= 0 {
+		opts.Backoff = 500 * time.Millisecond
+	}
+	if opts.Build == "" {
+		opts.Build = BuildID()
+	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	client := opts.Client
+	pollClient := opts.Client
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+		pollClient = &http.Client{} // polls are bounded by per-request contexts
+	}
+	return &Worker{
+		opts:       opts,
+		base:       strings.TrimRight(opts.Coordinator, "/"),
+		client:     client,
+		pollClient: pollClient,
+		logf:       logf,
+		cache:      opts.Cache,
+	}
+}
+
+// ID returns the coordinator-assigned worker id ("" before registration).
+func (w *Worker) ID() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.id
+}
+
+// JobsDone returns how many jobs this worker has completed.
+func (w *Worker) JobsDone() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.done
+}
+
+// Run registers with the coordinator and serves jobs until ctx is
+// cancelled, then drains: running simulations finish and post results
+// before Run deregisters and returns. The returned error is non-nil only
+// when registration never succeeded.
+func (w *Worker) Run(ctx context.Context) error {
+	if err := w.register(ctx); err != nil {
+		return err
+	}
+	// Heartbeats outlive ctx: they must keep renewing our leases while
+	// the drain finishes in-flight simulations, or a job longer than the
+	// lease TTL would be declared dead — and re-simulated elsewhere — in
+	// the middle of a graceful shutdown.
+	hbCtx, hbCancel := context.WithCancel(context.Background())
+	hbDone := make(chan struct{})
+	go func() {
+		defer close(hbDone)
+		w.heartbeatLoop(hbCtx)
+	}()
+	go func() {
+		<-ctx.Done()
+		w.draining.Store(true)
+	}()
+	var wg sync.WaitGroup
+	for i := 0; i < w.opts.Slots; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.pollLoop(ctx)
+		}()
+	}
+	wg.Wait()
+	hbCancel()
+	<-hbDone
+	w.deregister()
+	// A mid-run permanent rejection (the coordinator restarted with a
+	// different build) is a failure, not a drain: the caller must see it
+	// and exit non-zero rather than report a clean shutdown.
+	w.mu.Lock()
+	fatal := w.fatal
+	w.mu.Unlock()
+	if fatal != nil && ctx.Err() == nil {
+		return fatal
+	}
+	return nil
+}
+
+// reregister rejoins the coordinator, but only if staleID is still our
+// identity — when several loops observe the same 404, the first rejoin
+// wins and the rest are no-ops.
+func (w *Worker) reregister(ctx context.Context, staleID string) error {
+	w.regMu.Lock()
+	defer w.regMu.Unlock()
+	if w.ID() != staleID {
+		return nil
+	}
+	return w.register(ctx)
+}
+
+// register announces the worker, retrying until it succeeds, the
+// coordinator rejects it permanently (build mismatch), or ctx ends.
+func (w *Worker) register(ctx context.Context) error {
+	for {
+		err := w.registerOnce(ctx)
+		switch {
+		case err == nil:
+			return nil
+		case errors.Is(err, errRejected):
+			return err // permanent: retrying cannot help
+		}
+		w.logf("dist: register against %s failed (%v); retrying", w.base, err)
+		if !sleepCtx(ctx, w.opts.Backoff) {
+			return fmt.Errorf("dist: worker never registered with %s: %w", w.base, ctx.Err())
+		}
+	}
+}
+
+// errRejected marks a registration the coordinator refused outright.
+var errRejected = errors.New("registration rejected")
+
+func (w *Worker) registerOnce(ctx context.Context) error {
+	resp, err := w.postJSON(ctx, "/v1/workers", RegisterRequest{Name: w.opts.Name, Slots: w.opts.Slots, Build: w.opts.Build})
+	if err != nil {
+		return err
+	}
+	defer drainBody(resp.Body)
+	switch resp.StatusCode {
+	case http.StatusOK:
+		// fall through to decode
+	case http.StatusConflict:
+		var apiErr struct {
+			Error string `json:"error"`
+		}
+		json.NewDecoder(resp.Body).Decode(&apiErr)
+		return fmt.Errorf("%w by %s: %s", errRejected, w.base, apiErr.Error)
+	default:
+		return fmt.Errorf("register against %s: status %d", w.base, resp.StatusCode)
+	}
+	var reg RegisterResponse
+	if err := json.NewDecoder(resp.Body).Decode(&reg); err != nil {
+		return err
+	}
+	w.mu.Lock()
+	w.id = reg.WorkerID
+	w.leaseTTL = time.Duration(reg.LeaseTTLMS) * time.Millisecond
+	w.pollWait = time.Duration(reg.PollWaitMS) * time.Millisecond
+	if w.cache == nil && reg.CacheEnabled {
+		w.cache = cache.NewRemote[smt.Results](w.base, w.client)
+	}
+	w.mu.Unlock()
+	w.logf("dist: registered with %s as %s (%d slots)", w.base, reg.WorkerID, w.opts.Slots)
+	return nil
+}
+
+func (w *Worker) deregister() {
+	id := w.ID()
+	if id == "" {
+		return
+	}
+	req, err := http.NewRequest(http.MethodDelete, w.base+"/v1/workers/"+id, nil)
+	if err != nil {
+		return
+	}
+	if resp, err := w.client.Do(req); err == nil {
+		drainBody(resp.Body)
+	}
+}
+
+// heartbeatLoop renews the worker's lease at a third of its TTL. The
+// cadence is recomputed every beat: a re-registration (coordinator
+// restart) may have negotiated a different — possibly much shorter —
+// lease TTL, and beating at the old pace would let the new lease expire
+// between heartbeats.
+func (w *Worker) heartbeatLoop(ctx context.Context) {
+	for {
+		w.mu.Lock()
+		interval := w.leaseTTL / 3
+		w.mu.Unlock()
+		if interval <= 0 {
+			interval = time.Second
+		}
+		if !sleepCtx(ctx, interval) {
+			return
+		}
+		id := w.ID()
+		resp, err := w.postJSON(ctx, "/v1/workers/"+id+"/heartbeat", struct{}{})
+		if err != nil {
+			continue
+		}
+		code := resp.StatusCode
+		drainBody(resp.Body)
+		if code == http.StatusNotFound {
+			if w.draining.Load() {
+				// The coordinator forgot us and we are shutting down:
+				// re-registering would advertise slots no poll loop will
+				// ever serve — phantom capacity that strands queued jobs.
+				// Our leases are already lost; nothing left to renew.
+				return
+			}
+			// The coordinator forgot us (restart, expiry); rejoin.
+			w.reregister(ctx, id)
+		}
+	}
+}
+
+// pollLoop is one slot: long-poll for a job, execute it, repeat.
+func (w *Worker) pollLoop(ctx context.Context) {
+	for ctx.Err() == nil {
+		id := w.ID()
+		asg, code, err := w.poll(ctx, id)
+		switch {
+		case err == nil && code == http.StatusOK:
+			// Execute even when shutdown raced the poll: the coordinator
+			// leased this job to us the moment it answered, so dropping it
+			// here would strand the lease until expiry — an accepted job is
+			// always executed and delivered (drain semantics).
+			w.execute(asg)
+		case ctx.Err() != nil:
+			return
+		case err != nil:
+			sleepCtx(ctx, w.opts.Backoff)
+		case code == http.StatusNotFound:
+			if err := w.reregister(ctx, id); err != nil {
+				if errors.Is(err, errRejected) {
+					w.setFatal(err)
+				}
+				return
+			}
+		case code == http.StatusNoContent:
+			// No work inside the poll window; ask again.
+		default:
+			sleepCtx(ctx, w.opts.Backoff)
+		}
+	}
+}
+
+// poll asks for the next job. The request context is the worker's —
+// shutdown aborts a parked long poll immediately — bounded at the
+// coordinator's poll wait plus a margin so a lost connection cannot park
+// a slot forever, however large PollWait is configured.
+func (w *Worker) poll(ctx context.Context, id string) (Assignment, int, error) {
+	w.mu.Lock()
+	wait := w.pollWait
+	w.mu.Unlock()
+	pctx, cancel := context.WithTimeout(ctx, wait+15*time.Second)
+	defer cancel()
+	body, err := json.Marshal(PollRequest{WorkerID: id})
+	if err != nil {
+		return Assignment{}, 0, err
+	}
+	req, err := http.NewRequestWithContext(pctx, http.MethodPost, w.base+"/v1/work/next", bytes.NewReader(body))
+	if err != nil {
+		return Assignment{}, 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.pollClient.Do(req)
+	if err != nil {
+		return Assignment{}, 0, err
+	}
+	defer drainBody(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return Assignment{}, resp.StatusCode, nil
+	}
+	var asg Assignment
+	if err := json.NewDecoder(resp.Body).Decode(&asg); err != nil {
+		return Assignment{}, 0, err
+	}
+	return asg, http.StatusOK, nil
+}
+
+// execute runs one assignment: peek the shared cache, simulate on a
+// miss, stream snapshots when asked, fill the cache, post the result.
+// It deliberately ignores the run context — a job accepted before
+// shutdown is finished and delivered (drain semantics).
+func (w *Worker) execute(asg Assignment) {
+	p := asg.Job
+	w.mu.Lock()
+	c := w.cache
+	w.mu.Unlock()
+	if c != nil {
+		if res, ok := c.Get(p.Key); ok {
+			w.finish(asg, res, true)
+			return
+		}
+	}
+	var onSnap func(smt.Snapshot)
+	if p.Interval > 0 {
+		onSnap = func(s smt.Snapshot) { w.postSnapshot(asg, s) }
+	}
+	res := w.opts.Exec(p, onSnap)
+	if c != nil {
+		// Fill even though the result post also lands in the coordinator's
+		// cache: if our lease expired mid-run the post is discarded, but
+		// the fill still saves the re-simulation's successor a full run.
+		c.Put(p.Key, res)
+	}
+	w.finish(asg, res, false)
+}
+
+// finish posts a result. Transport errors retry a few times; any
+// definitive coordinator response ends the attempt (a discarded result —
+// accepted:false — means the job was requeued or cancelled, and
+// re-posting cannot change that). Only an accepted result counts toward
+// JobsDone: the drain exit message must not claim jobs whose results
+// were actually requeued elsewhere.
+//
+// When every attempt fails at the transport, the worker deregisters
+// itself: its own heartbeats would otherwise keep renewing the
+// undelivered job's lease forever, wedging the sweep — leaving the
+// registry requeues every lease we hold, and the next poll's 404
+// re-registers us under a fresh identity. If the network is down
+// entirely, the deregister fails too, but then heartbeats are failing
+// as well and the lease expires on its own.
+func (w *Worker) finish(asg Assignment, res smt.Results, fromCache bool) {
+	body := ResultRequest{WorkerID: w.ID(), TaskID: asg.TaskID, Key: asg.Job.Key, FromCache: fromCache, Results: res}
+	for attempt := 0; attempt < 3; attempt++ {
+		resp, err := w.postJSON(context.Background(), "/v1/work/result", body)
+		if err == nil {
+			var ack struct {
+				Accepted bool `json:"accepted"`
+			}
+			accepted := resp.StatusCode == http.StatusOK &&
+				json.NewDecoder(resp.Body).Decode(&ack) == nil && ack.Accepted
+			drainBody(resp.Body)
+			if accepted {
+				w.mu.Lock()
+				w.done++
+				w.mu.Unlock()
+			}
+			return
+		}
+		time.Sleep(w.opts.Backoff)
+	}
+	w.logf("dist: result post for task %s never landed; leaving the registry so its lease requeues", asg.TaskID)
+	w.deregister()
+}
+
+// postSnapshot streams one interval snapshot; best-effort.
+func (w *Worker) postSnapshot(asg Assignment, s smt.Snapshot) {
+	resp, err := w.postJSON(context.Background(), "/v1/work/snapshot",
+		SnapshotRequest{WorkerID: w.ID(), TaskID: asg.TaskID, Snapshot: s})
+	if err == nil {
+		drainBody(resp.Body)
+	}
+}
+
+// postJSON issues a POST with a JSON body. Long polls pass the worker
+// context so shutdown interrupts them; posts of finished work pass
+// context.Background() so drain still delivers.
+func (w *Worker) postJSON(ctx context.Context, path string, v any) (*http.Response, error) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.base+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return w.client.Do(req)
+}
+
+// sleepCtx pauses for d; it reports false when ctx ended first.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+func drainBody(body io.ReadCloser) {
+	io.Copy(io.Discard, body)
+	body.Close()
+}

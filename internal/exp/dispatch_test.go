@@ -1,0 +1,187 @@
+package exp
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/cache"
+	"repro/smt"
+)
+
+// dispatcherFunc adapts a function to the Dispatcher interface.
+type dispatcherFunc func(ctx context.Context, j Job, o Opts, interval int64, onSnap func(smt.Snapshot)) (smt.Results, error)
+
+func (f dispatcherFunc) Dispatch(ctx context.Context, j Job, o Opts, interval int64, onSnap func(smt.Snapshot)) (smt.Results, error) {
+	return f(ctx, j, o, interval, onSnap)
+}
+
+// TestDispatcherByteIdentical: routing jobs through a Dispatcher that
+// runs the canonical kernel must not change result bytes — the seam the
+// distributed coordinator plugs into.
+func TestDispatcherByteIdentical(t *testing.T) {
+	e, _ := Lookup("fig7")
+	o := tinyOpts()
+	local, err := Runner{Workers: 2}.RunExperiment(context.Background(), e, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaDispatch, err := Runner{
+		Workers: 3,
+		Dispatch: dispatcherFunc(func(ctx context.Context, j Job, o Opts, interval int64, onSnap func(smt.Snapshot)) (smt.Results, error) {
+			return Simulate(j.Spec.Config, j.Run, JobSeed(o.Seed, j.Run), o, interval, onSnap), nil
+		}),
+	}.RunExperiment(context.Background(), e, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := encodeResult(t, local), encodeResult(t, viaDispatch); a != b {
+		t.Fatalf("dispatcher changed result bytes\nlocal:\n%s\ndispatched:\n%s", a, b)
+	}
+}
+
+func encodeResult(t *testing.T, r *ExperimentResult) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := r.EncodeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// TestDispatchErrorFailsSweepAndReleasesFlight: a dispatch failure must
+// surface as the sweep's error, stop the remaining jobs, and release the
+// failed job's singleflight leadership so a later run of the same key
+// does not deadlock behind a Put that will never come.
+func TestDispatchErrorFailsSweepAndReleasesFlight(t *testing.T) {
+	e, _ := Lookup("fig7")
+	o := tinyOpts()
+	flight := cache.NewFlight[smt.Results](cache.New[smt.Results](0))
+	boom := errors.New("backend exploded")
+	r := Runner{
+		Workers: 2,
+		Cache:   flight,
+		Dispatch: dispatcherFunc(func(ctx context.Context, j Job, o Opts, interval int64, onSnap func(smt.Snapshot)) (smt.Results, error) {
+			return smt.Results{}, boom
+		}),
+	}
+	if _, err := r.RunExperiment(context.Background(), e, o); !errors.Is(err, boom) {
+		t.Fatalf("sweep error = %v, want %v", err, boom)
+	}
+	// The same keys must be computable again: if leadership leaked, this
+	// second run blocks forever on Flight.Get.
+	ok := Runner{Workers: 2, Cache: flight}
+	done := make(chan error, 1)
+	go func() {
+		_, err := ok.RunExperiment(context.Background(), e, o)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("re-run deadlocked: failed dispatch leaked flight leadership")
+	}
+}
+
+// TestRunnerCancelPromptWithSharedSem is the goroutine-leak regression
+// test: a sweep cancelled while its jobs queue on the shared semaphore
+// must return promptly (not wait for slots held by other tenants) and
+// must not leave worker goroutines parked on the semaphore send.
+func TestRunnerCancelPromptWithSharedSem(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	sem := make(chan struct{}, 1)
+	sem <- struct{}{} // another tenant owns the only slot for the whole test
+
+	e, _ := Lookup("fig7")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		_, err := Runner{Workers: 4, Sem: sem}.RunExperiment(ctx, e, tinyOpts())
+		done <- err
+	}()
+	// Let the pool park on the semaphore, then cancel.
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled run returned %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("RunExperiment never returned: workers are stuck in the semaphore queue")
+	}
+
+	// Every goroutine the run spawned must be gone — without the
+	// select-on-ctx acquire they would still be parked on `sem <-`.
+	deadline := time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Fatalf("goroutine leak after cancelled run: %d before, %d after", before, n)
+	}
+}
+
+// TestRunnerCancelDuringSimulationDrains: cancellation mid-simulation
+// (no semaphore involved) also returns and leaves no goroutines behind;
+// in-flight jobs finish their budgets first by design.
+func TestRunnerCancelDuringSimulationDrains(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{}, 64)
+	done := make(chan error, 1)
+	e, _ := Lookup("fig7")
+	go func() {
+		_, err := Runner{
+			Workers:  2,
+			Interval: 50,
+			OnSnapshot: func(j Job, s smt.Snapshot) {
+				select {
+				case started <- struct{}{}:
+				default:
+				}
+			},
+		}.RunExperiment(ctx, e, Opts{Runs: 2, Warmup: 500, Measure: 5_000, Seed: 1})
+		done <- err
+	}()
+	<-started // at least one job is mid-simulation
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled run returned %v, want context.Canceled", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("RunExperiment never returned after mid-simulation cancel")
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Fatalf("goroutine leak after mid-simulation cancel: %d before, %d after", before, n)
+	}
+}
+
+// TestJobPayloadFields pins what Simulate may depend on: two jobs that
+// agree on config, rotation, seed, and budgets must produce identical
+// results regardless of experiment/point identity — the property that
+// lets the distributed payload omit them.
+func TestJobPayloadFields(t *testing.T) {
+	cfg := ICount28(2)
+	o := tinyOpts().Normalized()
+	a := Simulate(cfg, 1, JobSeed(o.Seed, 1), o, 0, nil)
+	b := Simulate(cfg, 1, JobSeed(o.Seed, 1), o, 0, nil)
+	if fmt.Sprintf("%+v", a) != fmt.Sprintf("%+v", b) {
+		t.Fatal("Simulate is not a pure function of (config, rotation, seed, budgets)")
+	}
+}

@@ -53,6 +53,47 @@ type JobCache interface {
 	Put(key string, r smt.Results)
 }
 
+// keyForgetter is the optional JobCache extension for caches whose Get
+// creates a leader obligation (cache.Flight): a runner that cannot Put a
+// key it leads — its dispatch failed or was cancelled — must Forget it so
+// waiters blocked on the in-flight computation wake up and re-lead.
+type keyForgetter interface {
+	Forget(key string)
+}
+
+// ctxJobCache is the optional JobCache extension for caches whose Get
+// can block behind another runner's in-flight computation (cache.Flight):
+// the wait honors ctx, so a cancelled sweep abandons it immediately
+// instead of sitting out a possibly remote, possibly requeued job. An
+// error return takes no cache leadership.
+type ctxJobCache interface {
+	GetCtx(ctx context.Context, key string) (smt.Results, bool, error)
+}
+
+// Dispatcher executes one cache-missed job somewhere — possibly another
+// process or machine — and returns its results. The contract is strict
+// determinism: Dispatch must return exactly the smt.Results that Simulate
+// would produce for the job in this process, so a distributed run stays
+// byte-identical to a local one. interval > 0 asks the executor to forward
+// interval snapshots to onSnap (never nil when interval > 0 is passed by
+// the runner with an OnSnapshot observer; implementations may ignore the
+// request but must not change results). Dispatch is called concurrently
+// from worker goroutines and must honor ctx cancellation.
+type Dispatcher interface {
+	Dispatch(ctx context.Context, j Job, o Opts, interval int64, onSnap func(smt.Snapshot)) (smt.Results, error)
+}
+
+// Simulate executes one job's measurement kernel in-process: build the
+// machine, warm it, measure, optionally streaming interval snapshots. It
+// is the exact function every execution path funnels through — serial
+// Measure, the parallel runner, and distributed workers — which is what
+// makes results content-addressable and byte-identical across all of
+// them. Only cfg, rotation, seed, and the o.Warmup/o.Measure budgets
+// affect the returned results.
+func Simulate(cfg smt.Config, rotation int, seed uint64, o Opts, interval int64, onSnap func(smt.Snapshot)) smt.Results {
+	return runOne(cfg, rotation, seed, o, interval, onSnap)
+}
+
 // runOne is the shared measurement kernel: build the machine, warm it, and
 // measure — as one streaming run session. Every path into the simulator
 // (serial Measure, parallel runner) funnels through here so budgets and
@@ -114,6 +155,16 @@ type Runner struct {
 	// called from worker goroutines; implementations must synchronize.
 	OnSnapshot func(j Job, s smt.Snapshot)
 
+	// Dispatch, when non-nil, hands every cache-missed job to an external
+	// executor — the distributed coordinator in internal/dist — instead of
+	// simulating in-process. The cache protocol is unchanged (lookup before
+	// dispatch, fill after), so overlapping sweeps dedupe identically, and
+	// because dispatchers are determinism-bound (see Dispatcher) the
+	// aggregated result bytes are identical to a local run. Sem is not
+	// consulted on the dispatch path: bounding execution is the
+	// dispatcher's job (a remote fleet has its own capacity).
+	Dispatch Dispatcher
+
 	// Sem, when non-nil, is a counting semaphore bounding concurrent
 	// simulations across every Runner sharing it. A multi-tenant caller
 	// (the smtd service runs one Runner per sweep) sizes it once so N
@@ -155,7 +206,10 @@ func Jobs(e Experiment, o Opts) ([]Job, error) {
 // order is fixed.
 //
 // Cancelling ctx stops the run between jobs (an in-flight simulation
-// finishes its budget first) and returns ctx's error.
+// finishes its budget first, while jobs still waiting on the shared
+// semaphore abandon the wait immediately) and returns ctx's error. A job
+// that fails — only possible through a Dispatch error — cancels the rest
+// of the run and surfaces the first such error.
 func (r Runner) RunExperiment(ctx context.Context, e Experiment, o Opts) (*ExperimentResult, error) {
 	o = o.Normalized()
 	jobs, err := Jobs(e, o)
@@ -163,6 +217,21 @@ func (r Runner) RunExperiment(ctx context.Context, e Experiment, o Opts) (*Exper
 		return nil, err
 	}
 	results := make([]smt.Results, len(jobs))
+
+	// runCtx lets the first failing job stop its siblings without waiting
+	// for them to run their full budgets.
+	runCtx, cancelRun := context.WithCancel(ctx)
+	defer cancelRun()
+	var (
+		errOnce sync.Once
+		jobErr  error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			jobErr = err
+			cancelRun()
+		})
+	}
 
 	workers := r.workers()
 	if workers > len(jobs) {
@@ -175,10 +244,15 @@ func (r Runner) RunExperiment(ctx context.Context, e Experiment, o Opts) (*Exper
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				if ctx.Err() != nil {
+				if runCtx.Err() != nil {
 					continue // drain without working; the feeder is stopping
 				}
-				results[i] = r.runJob(jobs[i], o)
+				res, err := r.runJob(runCtx, jobs[i], o)
+				if err != nil {
+					fail(err)
+					continue
+				}
+				results[i] = res
 			}
 		}()
 	}
@@ -186,14 +260,17 @@ feed:
 	for i := range jobs {
 		select {
 		case idx <- i:
-		case <-ctx.Done():
+		case <-runCtx.Done():
 			break feed
 		}
 	}
 	close(idx)
 	wg.Wait()
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, err // the caller's cancellation wins over derived job errors
+	}
+	if jobErr != nil {
+		return nil, jobErr
 	}
 
 	return aggregate(e, o, jobs, results)
@@ -203,21 +280,23 @@ feed:
 // completion through OnJobDone. The shared semaphore slot (when set)
 // covers only the simulation itself: the cache lookup happens first, so a
 // hit — or a wait on another runner's in-flight computation — never
-// occupies a slot that a distinct job could use.
-func (r Runner) runJob(j Job, o Opts) smt.Results {
+// occupies a slot that a distinct job could use. On any failure path —
+// semaphore wait cancelled, dispatch error — the job's cache leadership is
+// released (see keyForgetter) before the error is returned.
+func (r Runner) runJob(ctx context.Context, j Job, o Opts) (smt.Results, error) {
 	var key string
 	if r.Cache != nil {
 		key = j.Key(o)
-		if res, ok := r.Cache.Get(key); ok {
+		res, ok, err := r.cacheGet(ctx, key)
+		if err != nil {
+			return smt.Results{}, err // wait abandoned; no leadership taken
+		}
+		if ok {
 			if r.OnJobDone != nil {
 				r.OnJobDone(j, res, true)
 			}
-			return res
+			return res, nil
 		}
-	}
-	if r.Sem != nil {
-		r.Sem <- struct{}{}
-		defer func() { <-r.Sem }()
 	}
 	interval := r.Interval
 	if interval < 0 {
@@ -227,14 +306,60 @@ func (r Runner) runJob(j Job, o Opts) smt.Results {
 	if interval > 0 && r.OnSnapshot != nil {
 		onSnap = func(s smt.Snapshot) { r.OnSnapshot(j, s) }
 	}
-	res := runOne(j.Spec.Config, j.Run, JobSeed(o.Seed, j.Run), o, interval, onSnap)
+
+	var res smt.Results
+	if r.Dispatch != nil {
+		var err error
+		res, err = r.Dispatch.Dispatch(ctx, j, o, interval, onSnap)
+		if err != nil {
+			r.forget(key)
+			return smt.Results{}, err
+		}
+	} else {
+		if r.Sem != nil {
+			// A cancelled run must not sit in the semaphore queue behind
+			// other runners' long simulations — that both delays
+			// RunExperiment's return and then burns a slot on a result
+			// nobody wants.
+			select {
+			case r.Sem <- struct{}{}:
+				defer func() { <-r.Sem }()
+			case <-ctx.Done():
+				r.forget(key)
+				return smt.Results{}, ctx.Err()
+			}
+		}
+		res = Simulate(j.Spec.Config, j.Run, JobSeed(o.Seed, j.Run), o, interval, onSnap)
+	}
 	if r.Cache != nil {
 		r.Cache.Put(key, res)
 	}
 	if r.OnJobDone != nil {
 		r.OnJobDone(j, res, false)
 	}
-	return res
+	return res, nil
+}
+
+// cacheGet looks a key up, using the cache's cancellable wait when it
+// has one.
+func (r Runner) cacheGet(ctx context.Context, key string) (smt.Results, bool, error) {
+	if c, ok := r.Cache.(ctxJobCache); ok {
+		return c.GetCtx(ctx, key)
+	}
+	res, ok := r.Cache.Get(key)
+	return res, ok, nil
+}
+
+// forget releases the runner's leadership of a cache key it will never
+// Put. A no-op for plain stores; required for leader-obligated caches
+// (cache.Flight) whose waiters would otherwise block forever.
+func (r Runner) forget(key string) {
+	if key == "" || r.Cache == nil {
+		return
+	}
+	if f, ok := r.Cache.(keyForgetter); ok {
+		f.Forget(key)
+	}
 }
 
 // aggregate folds per-job results into per-point averages and groups points

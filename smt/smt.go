@@ -29,6 +29,12 @@
 // The paper's measurement methodology (Section 3) averages several runs with
 // rotated benchmark-to-thread assignments; Experiment in package exp drives
 // that, and cmd/experiments regenerates every table and figure.
+//
+// Simulations are deterministic functions of (Config, workload rotation,
+// seed, budgets) — the property the surrounding tooling leans on: results
+// are content-addressed and cached (Config.Fingerprint), and sweeps
+// distribute across worker processes (cmd/smtd's coordinator/worker
+// modes) with output byte-identical to a single-process run.
 package smt
 
 import (
