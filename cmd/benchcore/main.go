@@ -1,0 +1,246 @@
+// Command benchcore measures the simulator's cycle-loop speed on a pinned
+// workload matrix and records the result as BENCH_core.json — the
+// simulator-speed counterpart to BENCH_dist.json's sweep-throughput
+// trajectory. Every figure in the paper's evaluation is bounded by
+// cycles/second through internal/core, so this file is the repo's
+// first-class record of how fast the modeled machine simulates and
+// whether the steady-state loop still runs allocation-free.
+//
+//	benchcore -out BENCH_core.json            # measure and write
+//	benchcore -check BENCH_core.json          # measure and compare (CI gate)
+//	benchcore -check BENCH_core.json -out new.json
+//
+// -check compares the fresh run's ns/cycle per matrix entry against the
+// committed seed and fails (exit 1) when any entry regresses beyond the
+// tolerance (default 15%), so a perf regression fails CI the same way a
+// correctness regression does. Improvements never fail the check; refresh
+// the committed seed when they hold.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/exp"
+	"repro/smt"
+)
+
+// report is the BENCH_core.json schema, shaped like BENCH_dist.json: one
+// self-describing document per trajectory point.
+type report struct {
+	Bench   string  `json:"bench"`
+	Date    string  `json:"date"`
+	Warmup  int64   `json:"warmup"`
+	Measure int64   `json:"measure"`
+	Seed    uint64  `json:"seed"`
+	Configs []entry `json:"configs"`
+
+	// VsPrePR, when present in a committed seed, records the before/after
+	// evidence from the PR that introduced or last refreshed the file —
+	// the measured hot-path delta that the committed trajectory point
+	// embodies. Fresh runs leave it unset; it is carried in the committed
+	// JSON by hand when the seed is refreshed after an optimization.
+	VsPrePR *prDelta `json:"vs_pre_pr,omitempty"`
+}
+
+// prDelta is one before/after benchmark record.
+type prDelta struct {
+	Benchmark     string  `json:"benchmark"`
+	BeforeNsPerOp float64 `json:"before_ns_per_op"`
+	AfterNsPerOp  float64 `json:"after_ns_per_op"`
+	Reduction     float64 `json:"reduction"`
+}
+
+// entry is one matrix point's measurement.
+type entry struct {
+	Name           string  `json:"name"`
+	Threads        int     `json:"threads"`
+	Cycles         int64   `json:"cycles"`
+	Seconds        float64 `json:"seconds"`
+	CyclesPerSec   float64 `json:"cycles_per_sec"`
+	NsPerCycle     float64 `json:"ns_per_cycle"`
+	AllocsPerCycle float64 `json:"allocs_per_cycle"`
+	BytesPerCycle  float64 `json:"bytes_per_cycle"`
+	IPC            float64 `json:"ipc"`
+}
+
+// matrixPoint pins one machine configuration of the benchmark matrix. The
+// matrix spans the design space the paper's evaluation sweeps most: the
+// superscalar baseline, the default RR machine, the winning ICOUNT.2.8
+// design, its OPT_LAST issue variant (exercises optimism computation and
+// the partition path), and IQPOSN (exercises the per-cycle queue-position
+// scan).
+type matrixPoint struct {
+	name string
+	cfg  func() smt.Config
+}
+
+var matrix = []matrixPoint{
+	{"superscalar", smt.Superscalar},
+	{"RR.1.8x8", func() smt.Config { return exp.MustFetchScheme(8, "RR", 1, 8) }},
+	{"ICOUNT.2.8x8", func() smt.Config { return exp.ICount28(8) }},
+	{"ICOUNT.2.8x8+OPT_LAST", func() smt.Config {
+		c := exp.ICount28(8)
+		c.IssuePolicy = smt.IssueOptLast
+		return c
+	}},
+	{"IQPOSN.2.8x8", func() smt.Config { return exp.MustFetchScheme(8, "IQPOSN", 2, 8) }},
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its dependencies injected, so tests can drive the CLI.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchcore", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		out     = fs.String("out", "", "write the measurement to this JSON file")
+		check   = fs.String("check", "", "compare against this committed BENCH_core.json and fail on regression")
+		tol     = fs.Float64("tol", 0.15, "ns/cycle regression tolerance for -check (0.15 = +15%)")
+		warmup  = fs.Int64("warmup", 100_000, "warmup instructions per config (excluded from measurement)")
+		measure = fs.Int64("measure", 400_000, "measured instructions per config")
+		seed    = fs.Uint64("seed", 1, "workload seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
+	if *warmup < 0 || *measure <= 0 {
+		fmt.Fprintln(stderr, "benchcore: -warmup must be >= 0 and -measure positive")
+		return 2
+	}
+	if *tol <= 0 {
+		fmt.Fprintln(stderr, "benchcore: -tol must be positive")
+		return 2
+	}
+
+	rep := report{
+		Bench:   "core_cycle_loop",
+		Date:    time.Now().UTC().Format("2006-01-02"),
+		Warmup:  *warmup,
+		Measure: *measure,
+		Seed:    *seed,
+	}
+	fmt.Fprintf(stdout, "%-24s %10s %12s %14s %10s %6s\n",
+		"config", "cycles", "ns/cycle", "cycles/sec", "allocs/cyc", "IPC")
+	for _, m := range matrix {
+		e := measureOne(m, *warmup, *measure, *seed)
+		rep.Configs = append(rep.Configs, e)
+		fmt.Fprintf(stdout, "%-24s %10d %12.1f %14.0f %10.4f %6.2f\n",
+			e.Name, e.Cycles, e.NsPerCycle, e.CyclesPerSec, e.AllocsPerCycle, e.IPC)
+	}
+
+	if *out != "" {
+		if err := writeReport(*out, rep); err != nil {
+			fmt.Fprintln(stderr, "benchcore:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", *out)
+	}
+	if *check != "" {
+		if code := checkAgainst(*check, rep, *tol, stdout, stderr); code != 0 {
+			return code
+		}
+	}
+	return 0
+}
+
+// measureOne builds one matrix machine, warms it, and times the cycle
+// loop, counting heap allocations across the measured region.
+func measureOne(m matrixPoint, warmup, measure int64, seed uint64) entry {
+	cfg := m.cfg()
+	sim := smt.MustNew(cfg, smt.WorkloadMix(cfg.Threads, 0, seed))
+	sim.Warmup(warmup * int64(cfg.Threads))
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	c0 := sim.RawStats().Cycles
+	t0 := time.Now()
+	res := sim.Run(measure * int64(cfg.Threads))
+	secs := time.Since(t0).Seconds()
+	runtime.ReadMemStats(&after)
+	cycles := sim.RawStats().Cycles - c0
+
+	e := entry{
+		Name:    m.name,
+		Threads: cfg.Threads,
+		Cycles:  cycles,
+		Seconds: round6(secs),
+		IPC:     round3(res.IPC),
+	}
+	if cycles > 0 {
+		e.CyclesPerSec = round3(float64(cycles) / secs)
+		e.NsPerCycle = round3(secs * 1e9 / float64(cycles))
+		e.AllocsPerCycle = round6(float64(after.Mallocs-before.Mallocs) / float64(cycles))
+		e.BytesPerCycle = round6(float64(after.TotalAlloc-before.TotalAlloc) / float64(cycles))
+	}
+	return e
+}
+
+// checkAgainst enforces the perf trajectory: each matrix entry's fresh
+// ns/cycle must stay within (1+tol) of the committed seed's.
+func checkAgainst(path string, fresh report, tol float64, stdout, stderr io.Writer) int {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchcore:", err)
+		return 1
+	}
+	var committed report
+	if err := json.Unmarshal(raw, &committed); err != nil {
+		fmt.Fprintf(stderr, "benchcore: parsing %s: %v\n", path, err)
+		return 1
+	}
+	seedByName := map[string]entry{}
+	for _, e := range committed.Configs {
+		seedByName[e.Name] = e
+	}
+	failed := false
+	for _, e := range fresh.Configs {
+		base, ok := seedByName[e.Name]
+		if !ok {
+			fmt.Fprintf(stderr, "benchcore: config %q missing from %s; regenerate the seed with -out\n", e.Name, path)
+			failed = true
+			continue
+		}
+		delta := e.NsPerCycle/base.NsPerCycle - 1
+		status := "ok"
+		if delta > tol {
+			status = "REGRESSION"
+			failed = true
+		}
+		fmt.Fprintf(stdout, "check %-24s %8.1f -> %8.1f ns/cycle (%+6.1f%%, limit +%.0f%%) %s\n",
+			e.Name, base.NsPerCycle, e.NsPerCycle, delta*100, tol*100, status)
+	}
+	if failed {
+		fmt.Fprintf(stderr, "benchcore: ns/cycle regressed beyond %.0f%% of the committed seed %s\n", tol*100, path)
+		return 1
+	}
+	return 0
+}
+
+func writeReport(path string, rep report) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func round3(v float64) float64 { return float64(int64(v*1e3+0.5)) / 1e3 }
+func round6(v float64) float64 { return float64(int64(v*1e6+0.5)) / 1e6 }

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// small keeps test runs fast: the budgets only need to exercise the
+// measurement and check plumbing, not produce stable timings.
+var small = []string{"-warmup", "500", "-measure", "2000"}
+
+func TestBenchcoreWritesReport(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_core.json")
+	var stdout, stderr bytes.Buffer
+	if code := run(append([]string{"-out", out}, small...), &stdout, &stderr); code != 0 {
+		t.Fatalf("run = %d, stderr: %s", code, stderr.String())
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Bench != "core_cycle_loop" {
+		t.Fatalf("bench = %q", rep.Bench)
+	}
+	if len(rep.Configs) != len(matrix) {
+		t.Fatalf("got %d configs, want %d", len(rep.Configs), len(matrix))
+	}
+	for _, e := range rep.Configs {
+		if e.Cycles <= 0 || e.NsPerCycle <= 0 || e.CyclesPerSec <= 0 {
+			t.Fatalf("config %s has degenerate measurements: %+v", e.Name, e)
+		}
+		if e.IPC <= 0 {
+			t.Fatalf("config %s reports IPC %v", e.Name, e.IPC)
+		}
+	}
+}
+
+func TestBenchcoreCheckPassesAgainstOwnRun(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "seed.json")
+	var stdout, stderr bytes.Buffer
+	if code := run(append([]string{"-out", out}, small...), &stdout, &stderr); code != 0 {
+		t.Fatalf("seed run = %d, stderr: %s", code, stderr.String())
+	}
+	// A fresh run against its own machine's seed stays within tolerance;
+	// use a generous one so a loaded test machine cannot flake this.
+	stdout.Reset()
+	if code := run(append([]string{"-check", out, "-tol", "4"}, small...), &stdout, &stderr); code != 0 {
+		t.Fatalf("check = %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "check") {
+		t.Fatalf("check output missing comparison lines:\n%s", stdout.String())
+	}
+}
+
+func TestBenchcoreCheckFailsOnRegression(t *testing.T) {
+	// Seed a file claiming the machine used to be implausibly fast; any
+	// real run must then exceed the tolerance and fail.
+	seed := report{Bench: "core_cycle_loop", Configs: []entry{}}
+	for _, m := range matrix {
+		seed.Configs = append(seed.Configs, entry{Name: m.name, NsPerCycle: 0.001})
+	}
+	path := filepath.Join(t.TempDir(), "seed.json")
+	raw, _ := json.Marshal(seed)
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run(append([]string{"-check", path}, small...), &stdout, &stderr); code != 1 {
+		t.Fatalf("check = %d, want 1 (regression)\nstdout: %s", code, stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "REGRESSION") {
+		t.Fatalf("expected REGRESSION marker:\n%s", stdout.String())
+	}
+}
+
+func TestBenchcoreRejectsBadFlags(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-measure", "0"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("bad -measure: run = %d, want 2", code)
+	}
+	if code := run([]string{"-tol", "-1", "-check", "x"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("bad -tol: run = %d, want 2", code)
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 
@@ -64,6 +65,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		nFetch     = fs.Int("nfetch", 2, "threads fetched per cycle for the -fetch comparison (num1)")
 		wFetch     = fs.Int("wfetch", 8, "max instructions per thread per cycle for the -fetch comparison (num2)")
 		policies   = fs.Bool("policies", false, "list registered fetch and issue policies and exit")
+
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memprofile = fs.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
@@ -88,6 +92,39 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, check.msg)
 			return 2
 		}
+	}
+
+	// Profiling hooks: experiment sweeps are the natural profiling harness
+	// for the simulator's hot loop, so the CLI exposes the standard pprof
+	// pair directly (`experiments -experiment fig3 -cpuprofile cpu.out`).
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(stderr, "experiments:", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(stderr, "experiments:", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(stderr, "experiments:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(stderr, "experiments:", err)
+			}
+		}()
 	}
 
 	if *list {

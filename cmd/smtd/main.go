@@ -16,11 +16,13 @@
 //	DELETE /v1/jobs/{id}        cancel a running sweep
 //	GET    /v1/cache            content-addressed result cache metrics
 //	GET    /v1/workers          distributed worker registry + scheduler stats
+//	GET    /debug/pprof/        live profiling (net/http/pprof)
 //
 // The same binary also runs as a worker node that joins a coordinator and
-// absorbs its sweep jobs (see internal/dist for the protocol):
+// absorbs its sweep jobs (see internal/dist for the protocol); workers
+// have no service listener, so profiling one is opt-in via -pprof:
 //
-//	smtd -worker -join http://coordinator:8080 -workers 8
+//	smtd -worker -join http://coordinator:8080 -workers 8 -pprof localhost:6060
 //
 // Every job's results are stored under a content address — the machine
 // configuration's fingerprint plus workload seed and budgets — so any
@@ -71,6 +73,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		worker    = fs.Bool("worker", false, "run as a worker node: join a coordinator instead of listening")
 		join      = fs.String("join", "", "coordinator base URL to join (required with -worker)")
 		name      = fs.String("name", "", "worker display name (default: hostname)")
+		pprofAddr = fs.String("pprof", "", "worker mode: serve net/http/pprof on this address (e.g. localhost:6060); the coordinator serves /debug/pprof/ on its main listener")
 	)
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
@@ -87,10 +90,14 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 			fmt.Fprintln(stderr, "-worker requires -join <coordinator url>")
 			return 2
 		}
-		return runWorker(*join, *name, *workers, stdout, stderr)
+		return runWorker(*join, *name, *workers, *pprofAddr, stdout, stderr)
 	}
 	if *join != "" {
 		fmt.Fprintln(stderr, "-join only makes sense with -worker")
+		return 2
+	}
+	if *pprofAddr != "" {
+		fmt.Fprintln(stderr, "-pprof is for worker mode; the coordinator already serves /debug/pprof/ on -addr")
 		return 2
 	}
 	if *cacheSize <= 0 {
@@ -150,13 +157,27 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 
 // runWorker joins a coordinator and serves simulation jobs until
 // SIGTERM, then drains: in-flight jobs finish and deliver their results
-// before the process exits.
-func runWorker(join, name string, slots int, stdout, stderr io.Writer) int {
+// before the process exits. pprofAddr, when non-empty, serves
+// net/http/pprof there — a worker has no service listener of its own,
+// and profiling a loaded worker is how simulation-speed regressions on
+// fleet nodes get diagnosed.
+func runWorker(join, name string, slots int, pprofAddr string, stdout, stderr io.Writer) int {
 	if name == "" {
 		name, _ = os.Hostname()
 		if name == "" {
 			name = "worker"
 		}
+	}
+	if pprofAddr != "" {
+		ln, err := net.Listen("tcp", pprofAddr)
+		if err != nil {
+			fmt.Fprintln(stderr, "smtd worker: pprof listener:", err)
+			return 1
+		}
+		mux := http.NewServeMux()
+		registerPprof(mux)
+		go http.Serve(ln, mux)
+		fmt.Fprintf(stdout, "smtd worker: pprof on http://%s/debug/pprof/\n", ln.Addr())
 	}
 	w := dist.NewWorker(dist.WorkerOptions{
 		Coordinator: join,

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"runtime/debug"
 	"sort"
@@ -173,7 +174,24 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("PUT /v1/cache/{key}", s.handleCachePut)
 	// Worker registry, long-poll work queue, snapshot/result ingestion.
 	s.coord.Handle(mux)
+	// Live profiling of a deployed service: CPU/heap/goroutine/block
+	// profiles without a restart, the first tool to reach for when a
+	// coordinator's sweeps slow down (`go tool pprof http://host/debug/pprof/profile`).
+	registerPprof(mux)
 	return mux
+}
+
+// registerPprof mounts net/http/pprof's handlers on mux (the package's
+// side-effect registration only touches http.DefaultServeMux, which this
+// service never serves). Deliberately method-agnostic, matching
+// net/http/pprof's own registration: pprof clients POST to /symbol
+// (legacy symbolz protocol), so a GET-only pattern would 405 them.
+func registerPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 }
 
 // versionInfo is the /v1/version payload: build identity via

@@ -575,3 +575,32 @@ func TestSweepIntervalStreaming(t *testing.T) {
 		t.Fatalf("negative interval accepted: %d", code)
 	}
 }
+
+// TestPprofMounted verifies the profiling surface is live on the service
+// mux: the index page and a goroutine profile respond. (The handlers are
+// mounted explicitly — the service never serves http.DefaultServeMux, so
+// net/http/pprof's side-effect registration alone would be unreachable.)
+func TestPprofMounted(t *testing.T) {
+	ts := newTestService(t)
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/symbol"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s = %d, want 200", path, resp.StatusCode)
+		}
+	}
+	// pprof clients symbolize by POSTing a PC list to /symbol (legacy
+	// symbolz); a method-restricted route would 405 and break them.
+	resp, err := http.Post(ts.URL+"/debug/pprof/symbol", "application/x-www-form-urlencoded",
+		bytes.NewReader([]byte("0x1000")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("POST /debug/pprof/symbol = %d, want 200", resp.StatusCode)
+	}
+}

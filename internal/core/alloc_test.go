@@ -1,0 +1,45 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/policy"
+)
+
+// TestSteadyStateCycleAllocs asserts the steady-state cycle loop performs
+// zero heap allocations: after a warmup long enough to grow every scratch
+// buffer, pool, and event-ring bucket to its working size, stepping the
+// machine must not allocate at all. This is the regression guard for the
+// zero-allocation hot-path work — any append site that loses its reused
+// backing array, any closure or interface conversion sneaking back into
+// the issue/fetch sorts, shows up here as a non-zero count.
+//
+// The configuration is the paper's central design point at full width — 8
+// threads, ICOUNT.2.8 — so the guarded path includes the fetch-policy
+// sort, the merged issue walk, optimistic issue, squash/release, and the
+// full memory hierarchy.
+func TestSteadyStateCycleAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping warmup-heavy allocation measurement")
+	}
+	cfg := DefaultConfig(8)
+	cfg.FetchPolicy = policy.ICount
+	cfg.FetchThreads = 2
+	cfg.FetchPerThread = 8
+	p := MustNew(cfg, buildPrograms(t, 8, 1))
+
+	// Warm every reusable structure: scratch buffers and the dyn pool grow
+	// to their high-water marks, the event ring's buckets reach their
+	// plateau capacities, caches and TLBs fill.
+	p.Run(1_200_000, 0)
+
+	const cycles = 2_000
+	avg := testing.AllocsPerRun(50, func() {
+		for i := 0; i < cycles; i++ {
+			p.Step()
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state cycle loop allocates: %.3f allocs per %d cycles, want 0", avg, cycles)
+	}
+}

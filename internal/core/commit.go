@@ -17,17 +17,43 @@ func (p *Processor) commitStage() {
 	n := p.cfg.Threads
 	for i := 0; i < n && budget > 0; i++ {
 		th := p.threads[(p.commitRR+i)%n]
-		for budget > 0 && len(th.rob) > 0 {
-			d := th.rob[0]
+		for budget > 0 && th.robHead < len(th.rob) {
+			d := th.rob[th.robHead]
 			if !p.committable(d) {
 				break
 			}
 			p.commitOne(th, d)
-			th.rob = th.rob[:copy(th.rob, th.rob[1:])]
+			th.rob[th.robHead] = nil
+			th.robHead++
 			budget--
 		}
+		th.compactROB()
 	}
 	p.commitRR++
+}
+
+// liveROB returns the in-flight instructions in fetch order (the slice
+// view past the committed prefix).
+func (th *threadState) liveROB() []*dyn { return th.rob[th.robHead:] }
+
+// compactROB reclaims the committed prefix of the ROB slice. A drained
+// ROB resets for free; otherwise the live tail slides down only once the
+// dead prefix outgrows it, so the copy amortizes to O(1) per commit and
+// the backing array cannot grow without bound.
+func (th *threadState) compactROB() {
+	switch {
+	case th.robHead == 0:
+	case th.robHead == len(th.rob):
+		th.rob = th.rob[:0]
+		th.robHead = 0
+	case th.robHead >= 32 && th.robHead*2 >= len(th.rob):
+		n := copy(th.rob, th.rob[th.robHead:])
+		for i := n; i < len(th.rob); i++ {
+			th.rob[i] = nil
+		}
+		th.rob = th.rob[:n]
+		th.robHead = 0
+	}
 }
 
 // committable reports whether the thread's oldest instruction has fully

@@ -224,3 +224,23 @@ func (c Config) redirectBubble() int64 {
 	}
 	return 0
 }
+
+// eventHorizon estimates how far ahead of the current cycle the machine
+// can schedule an event: the longest memory round trip the hierarchy can
+// quote (a TLB walk plus a fill chain to memory with every per-level bus,
+// fill, and port charge), padded generously for bus and MSHR queueing
+// pile-ups the static walk cannot see. The event ring is sized from it at
+// construction; an overrun grows the ring instead of losing events.
+func (c Config) eventHorizon() int64 {
+	h := int64(c.Mem.ITLB.MissPenalty)
+	if d := int64(c.Mem.DTLB.MissPenalty); d > h {
+		h = d
+	}
+	for l := mem.Level(0); l < mem.NumLevels; l++ {
+		cc := c.Mem.Caches[l]
+		h += int64(cc.LatencyToNext + 2*cc.TransferTime + cc.FillTime + cc.AccessEvery)
+	}
+	h += int64(c.Mem.MemLatency + c.Mem.MemBusTime)
+	h += c.execOffset() + c.commitDelay() + 16
+	return h * 4
+}

@@ -15,11 +15,11 @@ func TestDebugMT(t *testing.T) {
 	fmt.Printf("committed=%d fetched=%d issued=%d\n", s.Committed, s.Fetched, s.Issued)
 	for _, th := range p.threads {
 		fmt.Printf("th%d: pc=%#x imiss=%d blocked=%d wrong=%v rob=%d ic=%d committed=%d\n",
-			th.id, th.fetchPC, th.imissUntil, th.fetchBlockedUntil, th.wrongPath, len(th.rob), th.icount, th.committed)
+			th.id, th.fetchPC, th.imissUntil, th.fetchBlockedUntil, th.wrongPath, len(th.liveROB()), th.icount, th.committed)
 	}
 	fmt.Printf("dl=%d rl=%d intQ=%d fpQ=%d\n", len(p.decodeLatch), len(p.renameLatch), p.intQ.Len(), p.fpQ.Len())
-	if len(p.threads[0].rob) > 0 {
-		d := p.threads[0].rob[0]
+	if rob := p.threads[0].liveROB(); len(rob) > 0 {
+		d := rob[0]
 		fmt.Printf("th0 rob[0]: %s seq=%d state=%d done=%d\n", d.si.Class, d.seq, d.state, d.doneCycle)
 	}
 }

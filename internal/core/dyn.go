@@ -63,6 +63,7 @@ type dyn struct {
 
 	// Timing.
 	fetchCycle    int64
+	age           int64 // cached globalAge key, fixed at fetch
 	earliestIssue int64 // set when entering the IQ (queue-stage timing)
 	issueCycle    int64
 	execStart     int64
@@ -75,6 +76,12 @@ type dyn struct {
 	pendingEvts int8  // events still referencing this instruction
 	gen         int32 // issue generation; stale events carry an older value
 	retried     int32 // load bank-conflict retries (stats)
+
+	// optHeldListed is the membership bit for Processor.optHeld. It is the
+	// source of truth: a list entry whose instruction has a clear bit is
+	// stale (released, pulled back, or squashed-and-recycled) and is
+	// dropped without action, which makes duplicate pointers harmless.
+	optHeldListed bool
 }
 
 // isLoad reports whether the instruction is a load.
@@ -93,8 +100,16 @@ func (d *dyn) partialAddr(bits int) int64 {
 }
 
 // globalAge orders instructions by fetch time for OLDEST_FIRST issue;
-// within a cycle, lower thread/seq wins deterministically.
+// within a cycle, lower thread/seq wins deterministically. The value is
+// fixed at fetch, so newDyn computes it once into d.age and the issue
+// stage's merge walk reads the cached copy.
 func (d *dyn) globalAge() int64 {
+	return d.age
+}
+
+// computeAge derives the fetch-order age key; callable only once thread,
+// seq, and fetchCycle are set.
+func (d *dyn) computeAge() int64 {
 	return d.fetchCycle<<20 | int64(d.thread)<<14 | (d.seq & 0x3FFF)
 }
 

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"repro/internal/iq"
 	"repro/internal/rename"
 )
 
@@ -61,7 +60,7 @@ func (p *Processor) memExec(d *dyn) bool {
 		d.retried++
 		p.stats.LoadRetries++
 		d.execStart = p.cycle + 1
-		p.events.schedule(d.execStart, event{kind: evMemExec, d: d, thread: d.thread})
+		p.events.schedule(d.execStart, evMemExec, d, d.thread)
 		if d.isLoad() && d.destPhys != rename.None {
 			ready := d.execStart + 1 - p.cfg.execOffset()
 			if ready <= p.cycle {
@@ -87,7 +86,7 @@ func (p *Processor) memExec(d *dyn) bool {
 	changed := false
 	if res.L1Miss {
 		th.misscount++
-		p.events.schedule(res.Done, event{kind: evMissDone, thread: d.thread})
+		p.events.schedule(res.Done, evMissDone, nil, d.thread)
 	}
 	if d.destPhys != rename.None {
 		// Dependents may issue so that their execute stage begins after the
@@ -115,7 +114,7 @@ func (p *Processor) memExec(d *dyn) bool {
 // reissue once the corrected ready time passes. Returns true if any were
 // squashed.
 func (p *Processor) squashDependents(root *dyn) bool {
-	work := [](*dyn){root}
+	work := append(p.squashBuf[:0], root)
 	any := false
 	for len(work) > 0 {
 		w := work[len(work)-1]
@@ -148,6 +147,7 @@ func (p *Processor) squashDependents(root *dyn) bool {
 			}
 		}
 	}
+	p.squashBuf = work // empty here; retains the grown backing array
 	return any
 }
 
@@ -165,29 +165,45 @@ func consumes(x *dyn, fp bool, reg rename.PhysReg, p *Processor) bool {
 // releaseDependents frees the IQ slots of optimistic instructions whose
 // producers have all verified, cascading through dependence levels. It
 // returns true when any slot was released.
+//
+// It walks the optHeld membership list instead of both queues: every
+// instruction satisfying (issued && optimistic && inIQ) went through
+// issueOne with optimistic set, so the list covers exactly the old queue
+// scan's matches. The released set is the unique fixed point of a monotone
+// condition over the (acyclic) producer graph, so visiting in list order
+// rather than age order changes nothing.
 func (p *Processor) releaseDependents() bool {
 	released := false
 	for {
 		progress := false
-		for _, q := range []*iq.Queue[*dyn]{p.intQ, p.fpQ} {
-			for _, d := range q.All() {
-				if d.state != stIssued || !d.optimistic || !d.inIQ {
-					continue
-				}
-				if p.stillAtRisk(d) {
-					continue
-				}
-				d.optimistic = false
-				d.inIQ = false
-				th := p.threads[d.thread]
-				th.icount--
-				if d.isControl() {
-					th.brcount--
-				}
-				progress = true
-				released = true
+		keep := p.optHeld[:0]
+		for _, d := range p.optHeld {
+			if !d.optHeldListed {
+				continue // stale: released, pulled back, or recycled
 			}
+			if d.state != stIssued || !d.optimistic || !d.inIQ {
+				d.optHeldListed = false
+				continue
+			}
+			if p.stillAtRisk(d) {
+				keep = append(keep, d)
+				continue
+			}
+			d.optimistic = false
+			d.inIQ = false
+			d.optHeldListed = false
+			th := p.threads[d.thread]
+			th.icount--
+			if d.isControl() {
+				th.brcount--
+			}
+			progress = true
+			released = true
 		}
+		for i := len(keep); i < len(p.optHeld); i++ {
+			p.optHeld[i] = nil
+		}
+		p.optHeld = keep
 		if !progress {
 			break
 		}
@@ -242,7 +258,7 @@ func (p *Processor) resolve(d *dyn) {
 	th.removeCtl(d)
 	if !d.wrongPath && d.mispred == mispredExec {
 		p.stats.Mispredicts++
-		p.events.schedule(p.cycle+1, event{kind: evSquash, d: d, thread: d.thread})
+		p.events.schedule(p.cycle+1, evSquash, d, d.thread)
 	}
 }
 
@@ -258,11 +274,12 @@ func (p *Processor) performSquash(branchD *dyn) {
 	p.squashLatch(&p.decodeLatch, th, seq)
 	p.squashLatch(&p.renameLatch, th, seq)
 
-	for len(th.rob) > 0 {
+	for len(th.rob) > th.robHead {
 		d := th.rob[len(th.rob)-1]
 		if d.seq <= seq {
 			break
 		}
+		th.rob[len(th.rob)-1] = nil
 		th.rob = th.rob[:len(th.rob)-1]
 		p.squashRenamed(d, th)
 	}

@@ -160,6 +160,7 @@ func (p *Processor) newDyn(th *threadState, pc int64) *dyn {
 	d.prog = th.prog
 	d.si = th.prog.At(pc)
 	d.fetchCycle = p.cycle
+	d.age = d.computeAge()
 	d.state = stFetched
 	d.destPhys, d.oldPhys = -1, -1
 	d.src1Phys, d.src2Phys = -1, -1

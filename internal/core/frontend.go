@@ -18,8 +18,9 @@ func (p *Processor) decodeStage() {
 	for _, d := range p.decodeLatch {
 		d.state = stDecoded
 	}
-	p.renameLatch = append(p.renameLatch, p.decodeLatch...)
-	p.decodeLatch = p.decodeLatch[:0]
+	// The rename latch is empty (checked above), so the whole group moves
+	// by swapping slice headers; both backing arrays are reused forever.
+	p.renameLatch, p.decodeLatch = p.decodeLatch, p.renameLatch[:0]
 }
 
 // renameStage renames instructions from the rename latch and inserts them

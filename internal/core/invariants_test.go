@@ -67,7 +67,7 @@ func checkInvariants(t *testing.T, p *Processor) {
 	// Deadlock-freedom: a queued instruction whose source is NotReady must
 	// have a live producer that will eventually set it.
 	for _, th := range p.threads {
-		for _, d := range th.rob {
+		for _, d := range th.liveROB() {
 			if d.state != stQueued {
 				continue
 			}

@@ -1,18 +1,24 @@
 package core
 
 import (
-	"sort"
-
-	"repro/internal/iq"
 	"repro/internal/policy"
 )
 
-// candidate is one potentially-issuable queue entry.
+// candidate is one potentially-issuable queue entry, materialized only for
+// issue policies that reorder the age-sorted candidate stream. The struct
+// is kept small (one pointer, one packed position, the selector-visible
+// info) so collection is a handful of stores per entry.
 type candidate struct {
-	d     *dyn
-	queue *iq.Queue[*dyn]
-	pos   int // age position within its queue
-	info  policy.IssueInfo
+	d    *dyn
+	pos  int32 // age position within its queue
+	fp   bool  // from the FP queue
+	info policy.IssueInfo
+}
+
+// fuState tracks one cycle's functional-unit and issue-bandwidth
+// occupancy during selection.
+type fuState struct {
+	intUsed, ldstUsed, fpUsed, total int
 }
 
 // issueStage selects and issues ready instructions from both queues under
@@ -21,47 +27,120 @@ type candidate struct {
 // Readiness is evaluated live during the selection walk so that zero-latency
 // producers (compares) can feed consumers issued in the same cycle, and
 // one-cycle producers feed back-to-back dependents.
+//
+// Each queue window is age-ordered, so the merged candidate stream is
+// age-sorted by a two-pointer walk without a comparison sort. OLDEST_FIRST
+// consumes that stream directly — no candidate list exists at all; the
+// paper's non-default policies materialize it once and apply a stable O(n)
+// boolean partition; only custom selectors pay for a (closure-free,
+// stable) insertion sort.
 func (p *Processor) issueStage() {
 	p.pruneIssuedPreExec()
+	p.idxBuf = p.idxBuf[:0]
+	p.fpIdxBuf = p.fpIdxBuf[:0]
 
 	// Oldest in-IQ unresolved control instruction per thread, for the
-	// SPEC_LAST flag and the SpecNoPassBranch mode.
-	specSeq := p.oldestQueuedCtl()
+	// SPEC_LAST flag — computed only when the selector reads it.
+	var specSeq []int64
+	if p.issueNeeds.Speculative {
+		specSeq = p.oldestQueuedCtl()
+	}
 
-	// Each queue window is age-ordered, so the merged candidate list is
-	// sorted oldest-first without a comparison sort; the non-default issue
-	// policies are then a stable partition on a single flag.
-	intC := p.intCandBuf[:0]
-	fpC := p.fpCandBuf[:0]
-	for i, d := range p.intQ.Window() {
-		if d.state == stQueued && d.earliestIssue <= p.cycle {
-			intC = append(intC, p.newCandidate(d, p.intQ, i, specSeq))
+	var fu fuState
+	if _, ok := p.issueSel.(policy.OrderNeutral); ok {
+		p.issueOldestFirst(&fu)
+	} else {
+		p.issueReordered(specSeq, &fu)
+	}
+
+	// Issue visits candidates in selector order, so per-queue removal
+	// positions may be out of order; they are nearly sorted (age order
+	// within each queue), which insertion sort handles in ~n compares.
+	insertionSortInts(p.idxBuf)
+	insertionSortInts(p.fpIdxBuf)
+	p.intQ.RemoveIndices(p.idxBuf)
+	p.fpQ.RemoveIndices(p.fpIdxBuf)
+}
+
+// ageInf is an age beyond any real instruction's, marking an exhausted
+// queue window during the merge walk.
+const ageInf = int64(1) << 62
+
+// nextIssuable advances to the next entry at or after i that can compete
+// for issue at the given cycle, returning its position and age (len(w),
+// ageInf when the window is exhausted). Each entry's eligibility and age
+// are evaluated exactly once per cycle this way — the merge loop never
+// re-examines a head it already classified.
+func nextIssuable(w []*dyn, i int, cycle int64) (int, int64) {
+	for ; i < len(w); i++ {
+		d := w[i]
+		if d.state == stQueued && d.earliestIssue <= cycle {
+			return i, d.globalAge()
 		}
 	}
-	for i, d := range p.fpQ.Window() {
-		if d.state == stQueued && d.earliestIssue <= p.cycle {
-			fpC = append(fpC, p.newCandidate(d, p.fpQ, i, specSeq))
+	return len(w), ageInf
+}
+
+// issueOldestFirst issues straight off the merged age-ordered stream: the
+// two queue windows are walked with two pointers and no candidate list is
+// built (the default policy's hot path).
+func (p *Processor) issueOldestFirst(fu *fuState) {
+	intW := p.intQ.Window()
+	fpW := p.fpQ.Window()
+	ii, intAge := nextIssuable(intW, 0, p.cycle)
+	fi, fpAge := nextIssuable(fpW, 0, p.cycle)
+	for intAge != ageInf || fpAge != ageInf {
+		if intAge <= fpAge {
+			if full := p.tryIssue(intW[ii], ii, false, fu); full {
+				return
+			}
+			ii, intAge = nextIssuable(intW, ii+1, p.cycle)
+		} else {
+			if full := p.tryIssue(fpW[fi], fi, true, fu); full {
+				return
+			}
+			fi, fpAge = nextIssuable(fpW, fi+1, p.cycle)
 		}
 	}
-	p.intCandBuf, p.fpCandBuf = intC, fpC
+}
 
+// issueReordered materializes the age-ordered candidate list, reorders it
+// under the selector, and issues down it.
+func (p *Processor) issueReordered(specSeq []int64, fu *fuState) {
+	needs := p.issueNeeds
 	cands := p.candBuf[:0]
-	ii, fi := 0, 0
-	for ii < len(intC) || fi < len(fpC) {
-		switch {
-		case fi >= len(fpC) || (ii < len(intC) && intC[ii].info.Age <= fpC[fi].info.Age):
-			cands = append(cands, intC[ii])
-			ii++
-		default:
-			cands = append(cands, fpC[fi])
-			fi++
+	intW := p.intQ.Window()
+	fpW := p.fpQ.Window()
+	ii, intAge := nextIssuable(intW, 0, p.cycle)
+	fi, fpAge := nextIssuable(fpW, 0, p.cycle)
+	for intAge != ageInf || fpAge != ageInf {
+		var d *dyn
+		var pos int
+		var fp bool
+		var age int64
+		if intAge <= fpAge {
+			d, pos, fp, age = intW[ii], ii, false, intAge
+			ii, intAge = nextIssuable(intW, ii+1, p.cycle)
+		} else {
+			d, pos, fp, age = fpW[fi], fi, true, fpAge
+			fi, fpAge = nextIssuable(fpW, fi+1, p.cycle)
 		}
+		c := candidate{d: d, pos: int32(pos), fp: fp}
+		c.info.Age = age
+		if needs.Branch {
+			c.info.Branch = d.isControl()
+		}
+		if needs.Speculative {
+			c.info.Speculative = specSeq[d.thread] < d.seq
+		}
+		cands = append(cands, c)
 	}
 	p.candBuf = cands
 
-	if p.issueNeedOpt {
+	if needs.Optimistic {
 		// The selector orders on the optimism estimate at selection time
-		// (OPT_LAST among the built-ins).
+		// (OPT_LAST among the built-ins); it must be snapshotted before any
+		// issue this cycle changes producer states.
 		for i := range cands {
 			c := &cands[i]
 			c.info.Optimistic = p.srcAtRisk(p.srcFile(c.d.si.Src1), c.d.src1Phys) ||
@@ -69,85 +148,88 @@ func (p *Processor) issueStage() {
 		}
 	}
 	switch sel := p.issueSel.(type) {
-	case policy.OrderNeutral:
-		// Pure age order (OLDEST_FIRST): the merged list is already sorted.
 	case policy.IssuePartitioner:
 		// The paper's non-default policies: one stable boolean partition of
 		// the age-sorted list, O(n).
 		p.partBuf = partitionBySelector(cands, sel, p.partBuf[:0])
 	default:
-		// Custom selectors order through their full comparison; the stable
-		// sort keeps equal candidates in age order, so tie behavior matches
-		// the built-ins.
-		sort.SliceStable(cands, func(i, j int) bool {
-			return p.issueSel.Less(cands[i].info, cands[j].info)
-		})
+		// Custom selectors order through their full comparison. A stable
+		// insertion sort keeps equal candidates in age order — the same
+		// permutation sort.SliceStable produced — without its per-call
+		// closure and reflection-swapper allocations.
+		for i := 1; i < len(cands); i++ {
+			c := cands[i]
+			j := i
+			for j > 0 && sel.Less(c.info, cands[j-1].info) {
+				cands[j] = cands[j-1]
+				j--
+			}
+			cands[j] = c
+		}
 	}
-
-	var intUsed, ldstUsed, fpUsed, total int
-	intRemove := p.idxBuf[:0]
-	var fpRemove []int
 
 	for i := range cands {
 		c := &cands[i]
-		d := c.d
-		if !p.cfg.InfiniteFUs {
-			if total >= p.cfg.IssueWidth {
-				break
-			}
-			switch {
-			case d.si.Class.IsFP():
-				if fpUsed >= p.cfg.FPUnits {
-					continue
-				}
-			case d.si.Class.IsMem():
-				if ldstUsed >= p.cfg.LdStUnits || intUsed >= p.cfg.IntUnits {
-					continue
-				}
-			default:
-				if intUsed >= p.cfg.IntUnits {
-					continue
-				}
-			}
-		}
-		ready, optimistic := p.ready(d)
-		if !ready {
-			continue
-		}
-		p.issueOne(d, optimistic)
-		if optimistic {
-			// Held in the IQ until its load producers verify (Section 2's
-			// "held in the IQ an extra cycle after they are issued").
-			_ = d
-		} else {
-			d.inIQ = false
-			p.threads[d.thread].icount--
-			if d.isControl() {
-				p.threads[d.thread].brcount--
-			}
-			if c.queue == p.intQ {
-				intRemove = append(intRemove, c.pos)
-			} else {
-				fpRemove = append(fpRemove, c.pos)
-			}
-		}
-		total++
-		switch {
-		case d.si.Class.IsFP():
-			fpUsed++
-		case d.si.Class.IsMem():
-			ldstUsed++
-			intUsed++
-		default:
-			intUsed++
+		if full := p.tryIssue(c.d, int(c.pos), c.fp, fu); full {
+			return
 		}
 	}
+}
 
-	sort.Ints(intRemove)
-	sort.Ints(fpRemove)
-	p.intQ.RemoveIndices(intRemove)
-	p.fpQ.RemoveIndices(fpRemove)
-	p.idxBuf = intRemove[:0]
+// tryIssue attempts to issue one candidate under the cycle's remaining
+// functional-unit and bandwidth budget. It reports whether the cycle's
+// issue bandwidth is exhausted (the caller stops walking candidates).
+func (p *Processor) tryIssue(d *dyn, pos int, fromFP bool, fu *fuState) (full bool) {
+	if !p.cfg.InfiniteFUs {
+		if fu.total >= p.cfg.IssueWidth {
+			return true
+		}
+		switch {
+		case d.si.Class.IsFP():
+			if fu.fpUsed >= p.cfg.FPUnits {
+				return false
+			}
+		case d.si.Class.IsMem():
+			if fu.ldstUsed >= p.cfg.LdStUnits || fu.intUsed >= p.cfg.IntUnits {
+				return false
+			}
+		default:
+			if fu.intUsed >= p.cfg.IntUnits {
+				return false
+			}
+		}
+	}
+	ready, optimistic := p.ready(d)
+	if !ready {
+		return false
+	}
+	p.issueOne(d, optimistic)
+	if !optimistic {
+		// Optimistic issues are held in the IQ until their load producers
+		// verify (Section 2's "held in the IQ an extra cycle after they are
+		// issued"); everything else frees its slot now.
+		d.inIQ = false
+		p.threads[d.thread].icount--
+		if d.isControl() {
+			p.threads[d.thread].brcount--
+		}
+		if fromFP {
+			p.fpIdxBuf = append(p.fpIdxBuf, pos)
+		} else {
+			p.idxBuf = append(p.idxBuf, pos)
+		}
+	}
+	fu.total++
+	switch {
+	case d.si.Class.IsFP():
+		fu.fpUsed++
+	case d.si.Class.IsMem():
+		fu.ldstUsed++
+		fu.intUsed++
+	default:
+		fu.intUsed++
+	}
+	return false
 }
 
 // oldestQueuedCtl returns, per thread, the sequence number of the oldest
@@ -161,12 +243,14 @@ func (p *Processor) oldestQueuedCtl() []int64 {
 	for i := range s {
 		s[i] = 1<<63 - 1
 	}
-	for _, q := range []*iq.Queue[*dyn]{p.intQ, p.fpQ} {
-		all := q.All()
-		for _, d := range all {
-			if d.isControl() && !d.resolved && d.seq < s[d.thread] {
-				s[d.thread] = d.seq
-			}
+	for _, d := range p.intQ.All() {
+		if d.isControl() && !d.resolved && d.seq < s[d.thread] {
+			s[d.thread] = d.seq
+		}
+	}
+	for _, d := range p.fpQ.All() {
+		if d.isControl() && !d.resolved && d.seq < s[d.thread] {
+			s[d.thread] = d.seq
 		}
 	}
 	p.specSeqBuf = s
@@ -234,6 +318,10 @@ func (p *Processor) issueOne(d *dyn, optimistic bool) {
 	if d.wrongPath {
 		p.stats.IssuedWrongPath++
 	}
+	if optimistic && !d.optHeldListed {
+		d.optHeldListed = true
+		p.optHeld = append(p.optHeld, d)
+	}
 
 	lat := int64(d.si.Class.Latency())
 	switch {
@@ -243,7 +331,7 @@ func (p *Processor) issueOne(d *dyn, optimistic bool) {
 		if d.isLoad() && d.destPhys >= 0 {
 			p.ren.FileFor(d.si.Dest).SetReady(d.destPhys, p.cycle+1)
 		}
-		p.events.schedule(d.execStart, event{kind: evMemExec, d: d, thread: d.thread})
+		p.events.schedule(d.execStart, evMemExec, d, d.thread)
 	default:
 		if d.destPhys >= 0 {
 			p.ren.FileFor(d.si.Dest).SetReady(d.destPhys, p.cycle+lat)
@@ -251,7 +339,7 @@ func (p *Processor) issueOne(d *dyn, optimistic bool) {
 		execEnd := d.execStart + maxI64(lat, 1) - 1
 		d.doneCycle = execEnd + p.cfg.commitDelay()
 		if d.isControl() {
-			p.events.schedule(execEnd, event{kind: evResolve, d: d, thread: d.thread})
+			p.events.schedule(execEnd, evResolve, d, d.thread)
 		}
 	}
 	if d.execStart > p.cycle {
@@ -281,18 +369,17 @@ func maxI64(a, b int64) int64 {
 	return b
 }
 
-// newCandidate builds the issue descriptor for one queued instruction.
-func (p *Processor) newCandidate(d *dyn, q *iq.Queue[*dyn], pos int, specSeq []int64) candidate {
-	return candidate{
-		d:     d,
-		queue: q,
-		pos:   pos,
-		info: policy.IssueInfo{
-			Age:         d.globalAge(),
-			Branch:      d.isControl(),
-			Speculative: specSeq[d.thread] < d.seq,
-			// The optimistic flag is evaluated live during selection.
-		},
+// insertionSortInts sorts a small, nearly-sorted index list in place
+// (ascending) without sort.Ints' interface conversions.
+func insertionSortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		v := s[i]
+		j := i
+		for j > 0 && v < s[j-1] {
+			s[j] = s[j-1]
+			j--
+		}
+		s[j] = v
 	}
 }
 

@@ -22,8 +22,14 @@ type threadState struct {
 	fetchBlockedUntil int64 // misfetch bubbles / redirect bubbles
 	imissUntil        int64 // in-flight I-cache miss completion
 
-	nextSeq   int64
-	rob       []*dyn // renamed, in-flight instructions in fetch order
+	nextSeq int64
+	// rob[robHead:] holds the renamed, in-flight instructions in fetch
+	// order. Commit advances robHead instead of shifting the slice (an
+	// O(ROB) memmove per retired instruction otherwise); the dead prefix
+	// is compacted away once it outgrows the live tail, so the backing
+	// array stays bounded and is reused forever.
+	rob       []*dyn
+	robHead   int
 	stores    []*dyn // renamed stores awaiting execution (disambiguation)
 	ctlFlight []*dyn // renamed, unresolved control instructions
 
@@ -42,11 +48,13 @@ type Processor struct {
 	cycle int64
 
 	// Policy selectors, resolved from their registered names once at
-	// construction; the per-cycle stages call them directly.
-	fetchSel      policy.FetchSelector
-	issueSel      policy.IssueSelector
-	fetchNeedPosn bool // fetchSel reads ThreadFeedback.IQPosn
-	issueNeedOpt  bool // issueSel reads IssueInfo.Optimistic
+	// construction; the per-cycle stages call them directly. Each
+	// selector's declared requirements are precomputed here so the cycle
+	// loop maintains only the feedback fields some policy actually reads.
+	fetchSel   policy.FetchSelector
+	issueSel   policy.IssueSelector
+	fbNeeds    policy.FeedbackNeeds // fields fetchSel reads from ThreadFeedback
+	issueNeeds policy.IssueNeeds    // fields issueSel reads from IssueInfo
 
 	pred *branch.Predictor
 	mem  *mem.Hierarchy
@@ -76,15 +84,23 @@ type Processor struct {
 	rrBase   int // round-robin fetch priority rotation
 	commitRR int // round-robin commit fairness
 
-	// Scratch buffers reused across cycles.
+	// optHeld tracks optimistically issued instructions still holding
+	// their IQ slots, so releaseDependents walks a short list instead of
+	// both queues. dyn.optHeldListed is the membership bit; entries whose
+	// bit is clear are lazily dropped.
+	optHeld []*dyn
+
+	// Scratch buffers reused across cycles: every per-cycle append site
+	// reuses one of these backing arrays, so the steady-state loop never
+	// allocates.
 	fbBuf      []policy.ThreadFeedback
 	orderBuf   []int
 	candBuf    []candidate
-	intCandBuf []candidate
-	fpCandBuf  []candidate
 	partBuf    []candidate
 	idxBuf     []int
+	fpIdxBuf   []int
 	specSeqBuf []int64
+	squashBuf  []*dyn
 
 	// CommitHook, when non-nil, observes every committed instruction in
 	// per-thread program order (used by tests and tracing tools).
@@ -125,22 +141,22 @@ func New(cfg Config, programs []*workload.Program) (*Processor, error) {
 		capScale = 2
 	}
 	p := &Processor{
-		cfg:           cfg,
-		fetchSel:      fetchSel,
-		issueSel:      issueSel,
-		fetchNeedPosn: policy.ReadsQueuePositions(fetchSel),
-		issueNeedOpt:  policy.ReadsOptimism(issueSel),
-		pred:          pred,
-		mem:           hier,
-		ren:           ren,
-		intQ:          iq.New[*dyn](cfg.IQSize*capScale, cfg.IQSize),
-		fpQ:           iq.New[*dyn](cfg.IQSize*capScale, cfg.IQSize),
-		intProducer:   make([]*dyn, cfg.Rename.PhysPerFile()),
-		fpProducer:    make([]*dyn, cfg.Rename.PhysPerFile()),
-		fbBuf:         make([]policy.ThreadFeedback, cfg.Threads),
-		orderBuf:      make([]int, 0, cfg.Threads),
+		cfg:         cfg,
+		fetchSel:    fetchSel,
+		issueSel:    issueSel,
+		fbNeeds:     policy.FeedbackNeedsOf(fetchSel),
+		issueNeeds:  policy.IssueNeedsOf(issueSel),
+		pred:        pred,
+		mem:         hier,
+		ren:         ren,
+		intQ:        iq.New[*dyn](cfg.IQSize*capScale, cfg.IQSize),
+		fpQ:         iq.New[*dyn](cfg.IQSize*capScale, cfg.IQSize),
+		intProducer: make([]*dyn, cfg.Rename.PhysPerFile()),
+		fpProducer:  make([]*dyn, cfg.Rename.PhysPerFile()),
+		fbBuf:       make([]policy.ThreadFeedback, cfg.Threads),
+		orderBuf:    make([]int, 0, cfg.Threads),
 	}
-	p.events.init()
+	p.events.init(cfg.eventHorizon())
 	p.stats.CommittedByThread = make([]int64, cfg.Threads)
 	for t := 0; t < cfg.Threads; t++ {
 		prog := programs[t]
@@ -244,19 +260,31 @@ func (p *Processor) setProducer(f *rename.File, reg rename.PhysReg, d *dyn) {
 	}
 }
 
-// buildFeedback refreshes the per-thread fetch-policy counters.
+// buildFeedback refreshes the per-thread fetch-policy counters, publishing
+// only the fields the configured selector declared it reads (RR reads
+// nothing and skips the loop entirely; ICOUNT pays for one counter; only
+// IQPOSN pays for the both-queue position scan).
 func (p *Processor) buildFeedback() []policy.ThreadFeedback {
 	const noQueuePosn = 1 << 20
+	needs := p.fbNeeds
+	if needs == (policy.FeedbackNeeds{}) {
+		return p.fbBuf
+	}
 	for t := range p.fbBuf {
 		th := p.threads[t]
-		p.fbBuf[t] = policy.ThreadFeedback{
-			ICount:    th.icount,
-			BrCount:   th.brcount,
-			MissCount: th.misscount,
-			IQPosn:    noQueuePosn,
+		fb := policy.ThreadFeedback{IQPosn: noQueuePosn}
+		if needs.ICount {
+			fb.ICount = th.icount
 		}
+		if needs.BrCount {
+			fb.BrCount = th.brcount
+		}
+		if needs.MissCount {
+			fb.MissCount = th.misscount
+		}
+		p.fbBuf[t] = fb
 	}
-	if p.fetchNeedPosn {
+	if needs.IQPosn {
 		p.scanQueuePositions()
 	}
 	return p.fbBuf
@@ -265,13 +293,16 @@ func (p *Processor) buildFeedback() []policy.ThreadFeedback {
 // scanQueuePositions fills IQPosn: for each thread, the distance from the
 // head of the nearest queue holding one of its instructions.
 func (p *Processor) scanQueuePositions() {
-	for _, q := range []*iq.Queue[*dyn]{p.intQ, p.fpQ} {
-		for i := 0; i < q.Len(); i++ {
-			d := q.At(i)
-			fb := &p.fbBuf[d.thread]
-			if i < fb.IQPosn {
-				fb.IQPosn = i
-			}
+	for i, d := range p.intQ.All() {
+		fb := &p.fbBuf[d.thread]
+		if i < fb.IQPosn {
+			fb.IQPosn = i
+		}
+	}
+	for i, d := range p.fpQ.All() {
+		fb := &p.fbBuf[d.thread]
+		if i < fb.IQPosn {
+			fb.IQPosn = i
 		}
 	}
 }
@@ -293,45 +324,83 @@ type event struct {
 	gen    int32 // d.gen at scheduling; a mismatch marks the event stale
 }
 
-// ring is a calendar queue for events. Most events land within a few
-// hundred cycles; rare stragglers (stacked memory queueing) go to the
-// overflow map.
+// ring is a calendar queue for events, sized at construction from the
+// configuration's worst-case event horizon (the longest memory round trip
+// the hierarchy can quote, TLB walks included). Bucket backing arrays are
+// reused across laps, so the steady-state schedule/drain cycle is
+// allocation-free. Horizon overruns — possible only through pathological
+// queueing pile-ups the static bound cannot see — grow the ring in place
+// (amortized once, never per cycle) instead of spilling to a map.
 type ring struct {
-	buckets  [][]event
-	overflow map[int64][]event
-	base     int64
+	buckets [][]event
+	mask    int64
+	base    int64
 }
 
-const ringSize = 4096
-
-func (r *ring) init() {
-	r.buckets = make([][]event, ringSize)
-	r.overflow = make(map[int64][]event)
+func (r *ring) init(horizon int64) {
+	size := int64(256)
+	for size < horizon {
+		size <<= 1
+	}
+	r.buckets = make([][]event, size)
+	r.mask = size - 1
+	// Pre-size every bucket to the common-case event count so steady state
+	// reaches its allocation plateau at construction, not by trickling
+	// growth across the first few thousand laps. A bucket that ever needs
+	// more keeps its grown capacity forever.
+	backing := make([]event, size*bucketSeed)
+	for i := range r.buckets {
+		r.buckets[i] = backing[int64(i)*bucketSeed : int64(i)*bucketSeed : (int64(i)+1)*bucketSeed]
+	}
 }
 
-func (r *ring) schedule(cycle int64, ev event) {
-	if ev.d != nil {
-		ev.d.pendingEvts++
-		ev.gen = ev.d.gen
+// bucketSeed is the initial per-bucket event capacity: comfortably above
+// the events one cycle typically schedules for any single future cycle
+// (bounded by issue width plus miss completions landing together).
+const bucketSeed = 32
+
+func (r *ring) schedule(cycle int64, kind evKind, d *dyn, thread int32) {
+	var gen int32
+	if d != nil {
+		d.pendingEvts++
+		gen = d.gen
 	}
-	if cycle-r.base >= ringSize {
-		r.overflow[cycle] = append(r.overflow[cycle], ev)
-		return
+	for cycle-r.base > r.mask {
+		r.grow()
 	}
-	idx := cycle & (ringSize - 1)
-	r.buckets[idx] = append(r.buckets[idx], ev)
+	idx := cycle & r.mask
+	r.buckets[idx] = append(r.buckets[idx], event{kind: kind, d: d, thread: thread, gen: gen})
+}
+
+// grow doubles the ring. Every live event sits in a bucket whose index
+// identifies exactly one cycle in (base, base+size), so buckets relocate
+// by slice header — no per-event copying, and the old backing arrays
+// carry over.
+func (r *ring) grow() {
+	old := r.buckets
+	oldSize := r.mask + 1
+	next := make([][]event, oldSize*2)
+	nextMask := oldSize*2 - 1
+	for idx, evs := range old {
+		if len(evs) == 0 {
+			continue
+		}
+		cycle := r.base + ((int64(idx)-r.base)&(oldSize-1)+oldSize)&(oldSize-1)
+		if cycle == r.base {
+			cycle += oldSize // the base bucket is drained; a full lap ahead
+		}
+		next[cycle&nextMask] = evs
+	}
+	r.buckets = next
+	r.mask = nextMask
 }
 
 // drain returns the events scheduled for cycle. The returned slice is owned
 // by the ring and valid until the next drain of the same bucket.
 func (r *ring) drain(cycle int64) []event {
 	r.base = cycle
-	idx := cycle & (ringSize - 1)
+	idx := cycle & r.mask
 	evs := r.buckets[idx]
 	r.buckets[idx] = r.buckets[idx][:0]
-	if ovf, ok := r.overflow[cycle]; ok {
-		evs = append(evs, ovf...)
-		delete(r.overflow, cycle)
-	}
 	return evs
 }

@@ -173,13 +173,19 @@ func (c *Coordinator) Handle(mux *http.ServeMux) {
 func (c *Coordinator) Dispatch(ctx context.Context, j exp.Job, o exp.Opts, interval int64, onSnap func(smt.Snapshot)) (smt.Results, error) {
 	o = o.Normalized()
 	p := JobPayload{
-		Key:      j.Key(o),
 		Config:   j.Spec.Config,
 		Run:      j.Run,
 		Seed:     exp.JobSeed(o.Seed, j.Run),
 		Warmup:   o.Warmup,
 		Measure:  o.Measure,
 		Interval: interval,
+	}
+	if c.opts.ServesCache {
+		// The content address exists for the shared-cache protocol (worker
+		// peek/fill); without a served cache nobody reads it, and the
+		// reflection-canonical fingerprint is too expensive to compute per
+		// job for log decoration alone.
+		p.Key = j.Key(o)
 	}
 
 	c.mu.Lock()
@@ -561,13 +567,19 @@ func (c *Coordinator) handleWorkers(w http.ResponseWriter, r *http.Request) {
 	httpJSON(w, http.StatusOK, c.Stats())
 }
 
-// handlePoll long-polls for the next job: it answers immediately when the
-// queue has work, otherwise parks until an enqueue, the poll-wait
-// deadline, disconnect, or coordinator shutdown.
+// handlePoll long-polls for work: it answers immediately when the queue
+// has any, leasing up to req.Max jobs in one response, otherwise parks
+// until an enqueue, the poll-wait deadline, disconnect, or coordinator
+// shutdown. Batching matters on small jobs: each job's HTTP hop is paid
+// once per batch, not once per job.
 func (c *Coordinator) handlePoll(w http.ResponseWriter, r *http.Request) {
 	var req PollRequest
 	if !decodeInto(w, r, &req) {
 		return
+	}
+	max := req.Max
+	if max <= 0 {
+		max = 1
 	}
 	deadline := time.Now().Add(c.opts.PollWait)
 	for {
@@ -580,13 +592,21 @@ func (c *Coordinator) handlePoll(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		ws.lastSeen = now
-		if t := c.popPendingLocked(); t != nil {
+		var batch Batch
+		for len(batch.Assignments) < max {
+			t := c.popPendingLocked()
+			if t == nil {
+				break
+			}
 			t.assignedTo = ws.id
 			t.attempts++
 			t.deadline = now.Add(c.opts.LeaseTTL)
 			ws.running[t.id] = t
+			batch.Assignments = append(batch.Assignments, Assignment{TaskID: t.id, Job: t.payload})
+		}
+		if len(batch.Assignments) > 0 {
 			c.mu.Unlock()
-			httpJSON(w, http.StatusOK, Assignment{TaskID: t.id, Job: t.payload})
+			httpJSON(w, http.StatusOK, batch)
 			return
 		}
 		wake := c.wake
@@ -615,13 +635,13 @@ func (c *Coordinator) handlePoll(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// handleResult accepts a finished job. Stale posts — the task was
-// cancelled, already completed by another worker, or reassigned and
-// finished elsewhere — are acknowledged and discarded: determinism makes
-// every copy of a result interchangeable, and exactly one delivery per
-// dispatch is guaranteed by deliver.
+// handleResult accepts a batch of finished jobs. Stale entries — tasks
+// that were cancelled, already completed by another worker, or reassigned
+// and finished elsewhere — are acknowledged and discarded: determinism
+// makes every copy of a result interchangeable, and exactly one delivery
+// per dispatch is guaranteed by deliver.
 func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
-	var req ResultRequest
+	var req ResultsRequest
 	if !decodeInto(w, r, &req) {
 		return
 	}
@@ -630,17 +650,22 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 	if ws := c.workers[req.WorkerID]; ws != nil {
 		ws.lastSeen = now
 	}
-	t := c.tasks[req.TaskID]
+	tasks := make([]*task, len(req.Results))
+	for i, tr := range req.Results {
+		tasks[i] = c.tasks[tr.TaskID]
+	}
 	c.mu.Unlock()
 	// A task that was requeued into local fallback can still receive its
 	// original worker's result; determinism makes the copies identical,
 	// so whichever lands first wins — deliver re-checks completion under
 	// the lock, making the race benign.
-	accepted := false
-	if t != nil {
-		accepted = c.deliver(t, req.Results, req.WorkerID, req.FromCache)
+	accepted := 0
+	for i, tr := range req.Results {
+		if tasks[i] != nil && c.deliver(tasks[i], tr.Results, req.WorkerID, tr.FromCache) {
+			accepted++
+		}
 	}
-	httpJSON(w, http.StatusOK, map[string]bool{"accepted": accepted})
+	httpJSON(w, http.StatusOK, ResultsResponse{Accepted: accepted})
 }
 
 // handleSnapshot forwards one interval snapshot to the dispatching

@@ -502,3 +502,80 @@ func TestDispatchCancellation(t *testing.T) {
 	close(release)
 	stop()
 }
+
+// TestWorkerDrainFlushesLeaseAhead pins the shutdown path for lease-ahead
+// jobs: a worker cancelled while holding queued (not yet running)
+// assignments must finish and deliver every one of them and then return
+// from Run — the drain goroutines must not try to return slot tokens they
+// never took, which would block forever on the full slot channel and
+// wedge Run's WaitGroup (the worker would hang instead of deregistering).
+func TestWorkerDrainFlushesLeaseAhead(t *testing.T) {
+	coord, url := newTestCoordinator(t, Options{})
+
+	release := make(chan struct{})
+	firstRunning := make(chan struct{}, 16)
+	exec := func(p JobPayload, _ func(smt.Snapshot)) smt.Results {
+		firstRunning <- struct{}{}
+		<-release
+		return SimulateJob(p, nil)
+	}
+	// A phantom worker (registered over HTTP, never polls) keeps capacity
+	// non-zero so dispatched jobs queue at the coordinator instead of
+	// falling back to local execution — the real worker's first poll then
+	// deterministically finds the whole backlog and leases it in one
+	// batch: one job running, the rest in its lease-ahead queue.
+	resp, err := http.Post(url+"/v1/workers", "application/json",
+		bytes.NewReader([]byte(`{"name":"phantom","slots":1}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	e := testGrid()
+	o := exp.Opts{Runs: 1, Warmup: 100, Measure: 400, Seed: 1}
+	sweepDone := make(chan error, 1)
+	go func() {
+		_, err := (exp.Runner{Workers: 4, Dispatch: coord}).RunExperiment(context.Background(), e, o)
+		sweepDone <- err
+	}()
+	waitFor(t, "jobs to queue behind the phantom", func() bool { return coord.Stats().Pending == 4 })
+
+	w := NewWorker(WorkerOptions{
+		Coordinator: url, Name: "drainer",
+		Slots: 1, Prefetch: 4,
+		Exec: exec, Backoff: 20 * time.Millisecond,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	runDone := make(chan error, 1)
+	go func() { runDone <- w.Run(ctx) }()
+
+	// All four jobs leased to the one-slot worker: one running, three in
+	// its lease-ahead queue.
+	waitFor(t, "all jobs leased to the worker", func() bool { return coord.Stats().Assigned == 4 })
+	<-firstRunning
+
+	// Shut the worker down mid-job, then let executions finish.
+	cancel()
+	close(release)
+
+	select {
+	case err := <-runDone:
+		if err != nil {
+			t.Fatalf("worker Run returned error: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("worker Run did not return after cancel: lease-ahead drain wedged")
+	}
+	select {
+	case err := <-sweepDone:
+		if err != nil {
+			t.Fatalf("sweep failed: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("sweep never completed: drained results were not delivered")
+	}
+	if done := w.JobsDone(); done != 4 {
+		t.Fatalf("worker delivered %d jobs, want 4", done)
+	}
+}

@@ -17,17 +17,20 @@
 //  3. Aggregation stays on the coordinator and walks jobs in index order,
 //     exactly as a local run does, whatever order results arrive in.
 //
-// The protocol is pull-based: workers register (POST /v1/workers), then
-// long-poll for work (POST /v1/work/next), post interval snapshots
-// (POST /v1/work/snapshot) and results (POST /v1/work/result), and
-// heartbeat (POST /v1/workers/{id}/heartbeat). Every assignment carries a
-// lease; a worker that stops heartbeating — crashed, partitioned, killed —
-// has its in-flight jobs requeued to surviving workers, falling back to
-// local execution on the coordinator when none remain. Identical jobs
-// never execute twice across the cluster: sweeps dedupe through the
-// coordinator's singleflight cache before dispatch, and workers peek the
-// coordinator's content-addressed store (GET /v1/cache/{key}) before
-// simulating.
+// The protocol is pull-based and batched: workers register
+// (POST /v1/workers), long-poll for work (POST /v1/work/next, leasing up
+// to their free slots plus a lease-ahead window per response), post
+// interval snapshots (POST /v1/work/snapshot) and batched results
+// (POST /v1/work/result), and heartbeat
+// (POST /v1/workers/{id}/heartbeat). Batching keeps HTTP round trips off
+// the critical path on small jobs — a burst pays one hop per direction,
+// not one per job. Every assignment carries a lease; a worker that stops
+// heartbeating — crashed, partitioned, killed — has its in-flight jobs
+// requeued to surviving workers, falling back to local execution on the
+// coordinator when none remain. Identical jobs never execute twice
+// across the cluster: sweeps dedupe through the coordinator's
+// singleflight cache before dispatch, and workers peek the coordinator's
+// content-addressed store (GET /v1/cache/{key}) before simulating.
 package dist
 
 import (
@@ -88,8 +91,8 @@ func SimulateJob(p JobPayload, onSnap func(smt.Snapshot)) smt.Results {
 
 // RegisterRequest announces a worker to the coordinator.
 type RegisterRequest struct {
-	Name  string `json:"name"`  // display name, e.g. the worker's hostname
-	Slots int    `json:"slots"` // concurrent simulations the worker runs
+	Name  string `json:"name"`            // display name, e.g. the worker's hostname
+	Slots int    `json:"slots"`           // concurrent simulations the worker runs
 	Build string `json:"build,omitempty"` // worker BuildID; mismatch with a known coordinator build is rejected
 }
 
@@ -102,10 +105,16 @@ type RegisterResponse struct {
 	CacheEnabled bool   `json:"cache_enabled"` // coordinator serves /v1/cache/{key}
 }
 
-// PollRequest asks for the next job; the call long-polls up to the
-// coordinator's poll wait and returns 204 when no work arrived.
+// PollRequest asks for work; the call long-polls up to the coordinator's
+// poll wait and returns 204 when no work arrived. Max is how many jobs
+// the worker can start right now (its free slots); the coordinator leases
+// up to that many in one response, so one HTTP round trip amortizes
+// across a batch instead of costing a full hop per job — on small jobs
+// the round trip otherwise dominates and a local run beats the cluster.
+// Max <= 0 is treated as 1 (the pre-batching protocol).
 type PollRequest struct {
 	WorkerID string `json:"worker_id"`
+	Max      int    `json:"max,omitempty"`
 }
 
 // Assignment hands one leased job to a worker.
@@ -114,15 +123,35 @@ type Assignment struct {
 	Job    JobPayload `json:"job"`
 }
 
-// ResultRequest reports a finished job. FromCache marks results the
-// worker served from the coordinator's cache (a remote peek hit) rather
-// than simulating.
-type ResultRequest struct {
-	WorkerID  string      `json:"worker_id"`
+// Batch is the poll response: one or more leased assignments.
+type Batch struct {
+	Assignments []Assignment `json:"assignments"`
+}
+
+// TaskResult is one finished job inside a ResultsRequest. FromCache marks
+// results the worker served from the coordinator's cache (a remote peek
+// hit) rather than simulating.
+type TaskResult struct {
 	TaskID    string      `json:"task_id"`
 	Key       string      `json:"key"`
 	FromCache bool        `json:"from_cache,omitempty"`
 	Results   smt.Results `json:"results"`
+}
+
+// ResultsRequest reports one or more finished jobs. Like job leases,
+// result delivery is batched: the worker's reporter drains everything
+// finished since its last post into one request, so a burst of small jobs
+// pays one HTTP round trip, not one per job.
+type ResultsRequest struct {
+	WorkerID string       `json:"worker_id"`
+	Results  []TaskResult `json:"results"`
+}
+
+// ResultsResponse acknowledges a batch: Accepted counts the results that
+// completed a live dispatch (the rest were stale — requeued or cancelled
+// tasks — and discarded; determinism makes every copy interchangeable).
+type ResultsResponse struct {
+	Accepted int `json:"accepted"`
 }
 
 // SnapshotRequest streams one interval snapshot of a running job back to

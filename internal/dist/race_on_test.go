@@ -1,0 +1,7 @@
+//go:build race
+
+package dist
+
+// raceEnabled relaxes timing budgets in tests: race instrumentation slows
+// the protocol path close to an order of magnitude.
+const raceEnabled = true

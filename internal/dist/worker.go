@@ -33,6 +33,12 @@ type WorkerOptions struct {
 	// Slots is how many simulations run concurrently; <=0 means
 	// runtime.GOMAXPROCS(0).
 	Slots int
+	// Prefetch is how many extra jobs beyond free slots a poll may lease
+	// ahead into the worker's local queue, hiding the poll round trip
+	// behind running simulations. <0 disables; 0 defaults to Slots.
+	// Prefetched leases are covered by heartbeats like running ones, and
+	// worker death requeues them exactly the same way.
+	Prefetch int
 	// Exec runs one job payload; default SimulateJob.
 	Exec Exec
 	// Cache, when non-nil, is peeked before simulating and filled after.
@@ -75,6 +81,11 @@ type Worker struct {
 
 	draining atomic.Bool // run ctx cancelled: no new identities, no new jobs
 
+	// results feeds finished jobs to the reporter goroutine, which drains
+	// bursts into single batched posts (see ResultsRequest). Created by
+	// Run before any executor starts.
+	results chan TaskResult
+
 	mu       sync.Mutex
 	id       string
 	leaseTTL time.Duration
@@ -99,6 +110,11 @@ func NewWorker(opts WorkerOptions) *Worker {
 	}
 	if opts.Slots <= 0 {
 		opts.Slots = runtime.GOMAXPROCS(0)
+	}
+	if opts.Prefetch == 0 {
+		opts.Prefetch = opts.Slots
+	} else if opts.Prefetch < 0 {
+		opts.Prefetch = 0
 	}
 	if opts.Exec == nil {
 		opts.Exec = SimulateJob
@@ -165,15 +181,25 @@ func (w *Worker) Run(ctx context.Context) error {
 		<-ctx.Done()
 		w.draining.Store(true)
 	}()
+	w.results = make(chan TaskResult, w.opts.Slots*2)
+	repDone := make(chan struct{})
+	go func() {
+		defer close(repDone)
+		w.reporterLoop()
+	}()
 	var wg sync.WaitGroup
-	for i := 0; i < w.opts.Slots; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			w.pollLoop(ctx)
-		}()
-	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		w.dispatchLoop(ctx, &wg)
+	}()
 	wg.Wait()
+	// Every executor has pushed its result; close the feed so the reporter
+	// flushes the tail and exits — results are always delivered before the
+	// worker deregisters (drain semantics), and heartbeats keep renewing
+	// our leases until they are.
+	close(w.results)
+	<-repDone
 	hbCancel()
 	<-hbDone
 	w.deregister()
@@ -307,19 +333,104 @@ func (w *Worker) heartbeatLoop(ctx context.Context) {
 	}
 }
 
-// pollLoop is one slot: long-poll for a job, execute it, repeat.
-func (w *Worker) pollLoop(ctx context.Context) {
-	for ctx.Err() == nil {
+// dispatchLoop is the worker's scheduler: one long-poll loop that asks
+// for as many jobs as it has free slots and fans the returned batch out
+// to executor goroutines. Compared to the old one-poll-loop-per-slot
+// design, a batch of small jobs costs one HTTP round trip instead of one
+// per job, and the next batch is being fetched while the previous one
+// still runs — the protocol hop overlaps simulation instead of
+// serializing with it.
+func (w *Worker) dispatchLoop(ctx context.Context, wg *sync.WaitGroup) {
+	slots := make(chan struct{}, w.opts.Slots)
+	for i := 0; i < w.opts.Slots; i++ {
+		slots <- struct{}{}
+	}
+	// queue holds leased-ahead assignments (see WorkerOptions.Prefetch):
+	// when a slot frees, the next job starts from here with no network
+	// round trip in between.
+	var queue []Assignment
+	launch := func(asg Assignment) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.execute(asg)
+			slots <- struct{}{}
+		}()
+	}
+	// drainQueue finishes leased-ahead jobs at shutdown. The goroutines
+	// deliberately do NOT return slot tokens: nothing consumes slots once
+	// this loop exits, and a drain-launched executor never took a token —
+	// returning one would block forever on the full channel and wedge
+	// Run's wg.Wait (the worker would hang instead of deregistering).
+	drainQueue := func() {
+		for _, asg := range queue {
+			asg := asg
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				w.execute(asg)
+			}()
+		}
+		queue = nil
+	}
+	for {
+		// Wait for at least one free slot, then sweep up the rest without
+		// blocking.
+		select {
+		case <-ctx.Done():
+			// Leased-ahead jobs are still ours to finish: shutdown drains
+			// the local queue before returning (drain semantics), exactly
+			// as running simulations are finished, not abandoned.
+			drainQueue()
+			return
+		case <-slots:
+		}
+		free := 1
+	grab:
+		for free < w.opts.Slots {
+			select {
+			case <-slots:
+				free++
+			default:
+				break grab
+			}
+		}
+		// Serve from the lease-ahead queue first.
+		for free > 0 && len(queue) > 0 {
+			launch(queue[0])
+			queue = queue[:copy(queue, queue[1:])]
+			free--
+		}
+		if free == 0 {
+			continue
+		}
 		id := w.ID()
-		asg, code, err := w.poll(ctx, id)
+		batch, code, err := w.poll(ctx, id, free+w.opts.Prefetch)
+		started := 0
+		if err == nil && code == http.StatusOK {
+			// Execute even when shutdown raced the poll: the coordinator
+			// leased these jobs to us the moment it answered, so dropping
+			// them here would strand the leases until expiry — an accepted
+			// job is always executed and delivered (drain semantics).
+			for _, asg := range batch.Assignments {
+				if started < free {
+					started++
+					launch(asg)
+				} else {
+					queue = append(queue, asg)
+				}
+			}
+		}
+		for i := started; i < free; i++ {
+			slots <- struct{}{}
+		}
 		switch {
 		case err == nil && code == http.StatusOK:
-			// Execute even when shutdown raced the poll: the coordinator
-			// leased this job to us the moment it answered, so dropping it
-			// here would strand the lease until expiry — an accepted job is
-			// always executed and delivered (drain semantics).
-			w.execute(asg)
+			// Batch dispatched above; poll again immediately.
 		case ctx.Err() != nil:
+			// Flush lease-ahead debris before exiting (none unless the
+			// cancel raced the poll above).
+			drainQueue()
 			return
 		case err != nil:
 			sleepCtx(ctx, w.opts.Backoff)
@@ -338,52 +449,58 @@ func (w *Worker) pollLoop(ctx context.Context) {
 	}
 }
 
-// poll asks for the next job. The request context is the worker's —
+// poll asks for up to max jobs. The request context is the worker's —
 // shutdown aborts a parked long poll immediately — bounded at the
 // coordinator's poll wait plus a margin so a lost connection cannot park
-// a slot forever, however large PollWait is configured.
-func (w *Worker) poll(ctx context.Context, id string) (Assignment, int, error) {
+// the dispatcher forever, however large PollWait is configured.
+func (w *Worker) poll(ctx context.Context, id string, max int) (Batch, int, error) {
 	w.mu.Lock()
 	wait := w.pollWait
 	w.mu.Unlock()
 	pctx, cancel := context.WithTimeout(ctx, wait+15*time.Second)
 	defer cancel()
-	body, err := json.Marshal(PollRequest{WorkerID: id})
+	body, err := json.Marshal(PollRequest{WorkerID: id, Max: max})
 	if err != nil {
-		return Assignment{}, 0, err
+		return Batch{}, 0, err
 	}
 	req, err := http.NewRequestWithContext(pctx, http.MethodPost, w.base+"/v1/work/next", bytes.NewReader(body))
 	if err != nil {
-		return Assignment{}, 0, err
+		return Batch{}, 0, err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := w.pollClient.Do(req)
 	if err != nil {
-		return Assignment{}, 0, err
+		return Batch{}, 0, err
 	}
 	defer drainBody(resp.Body)
 	if resp.StatusCode != http.StatusOK {
-		return Assignment{}, resp.StatusCode, nil
+		return Batch{}, resp.StatusCode, nil
 	}
-	var asg Assignment
-	if err := json.NewDecoder(resp.Body).Decode(&asg); err != nil {
-		return Assignment{}, 0, err
+	var batch Batch
+	if err := json.NewDecoder(resp.Body).Decode(&batch); err != nil {
+		return Batch{}, 0, err
 	}
-	return asg, http.StatusOK, nil
+	return batch, http.StatusOK, nil
 }
 
 // execute runs one assignment: peek the shared cache, simulate on a
-// miss, stream snapshots when asked, fill the cache, post the result.
-// It deliberately ignores the run context — a job accepted before
-// shutdown is finished and delivered (drain semantics).
+// miss, stream snapshots when asked, fill the cache, hand the result to
+// the reporter. It deliberately ignores the run context — a job accepted
+// before shutdown is finished and delivered (drain semantics).
 func (w *Worker) execute(asg Assignment) {
 	p := asg.Job
 	w.mu.Lock()
 	c := w.cache
 	w.mu.Unlock()
+	if p.Key == "" {
+		// No content address on the payload (the coordinator serves no
+		// cache): peeking or filling under an empty key would alias every
+		// such job onto one entry.
+		c = nil
+	}
 	if c != nil {
 		if res, ok := c.Get(p.Key); ok {
-			w.finish(asg, res, true)
+			w.results <- TaskResult{TaskID: asg.TaskID, Key: p.Key, FromCache: true, Results: res}
 			return
 		}
 	}
@@ -398,44 +515,64 @@ func (w *Worker) execute(asg Assignment) {
 		// the fill still saves the re-simulation's successor a full run.
 		c.Put(p.Key, res)
 	}
-	w.finish(asg, res, false)
+	w.results <- TaskResult{TaskID: asg.TaskID, Key: p.Key, Results: res}
 }
 
-// finish posts a result. Transport errors retry a few times; any
-// definitive coordinator response ends the attempt (a discarded result —
-// accepted:false — means the job was requeued or cancelled, and
-// re-posting cannot change that). Only an accepted result counts toward
-// JobsDone: the drain exit message must not claim jobs whose results
-// were actually requeued elsewhere.
+// reporterLoop delivers finished jobs: it blocks for the next result,
+// sweeps up everything else already finished, and posts the batch in one
+// request. It exits once the results channel is closed and drained, so
+// shutdown flushes every pending result before the worker deregisters.
+func (w *Worker) reporterLoop() {
+	for tr := range w.results {
+		batch := []TaskResult{tr}
+	sweep:
+		for {
+			select {
+			case more, ok := <-w.results:
+				if !ok {
+					break sweep
+				}
+				batch = append(batch, more)
+			default:
+				break sweep
+			}
+		}
+		w.postResults(batch)
+	}
+}
+
+// postResults delivers one batch. Transport errors retry a few times; any
+// definitive coordinator response ends the attempt (a discarded result
+// means the job was requeued or cancelled, and re-posting cannot change
+// that). Only accepted results count toward JobsDone: the drain exit
+// message must not claim jobs whose results were actually requeued
+// elsewhere.
 //
 // When every attempt fails at the transport, the worker deregisters
 // itself: its own heartbeats would otherwise keep renewing the
-// undelivered job's lease forever, wedging the sweep — leaving the
+// undelivered jobs' leases forever, wedging the sweep — leaving the
 // registry requeues every lease we hold, and the next poll's 404
 // re-registers us under a fresh identity. If the network is down
 // entirely, the deregister fails too, but then heartbeats are failing
-// as well and the lease expires on its own.
-func (w *Worker) finish(asg Assignment, res smt.Results, fromCache bool) {
-	body := ResultRequest{WorkerID: w.ID(), TaskID: asg.TaskID, Key: asg.Job.Key, FromCache: fromCache, Results: res}
+// as well and the leases expire on their own.
+func (w *Worker) postResults(batch []TaskResult) {
+	body := ResultsRequest{WorkerID: w.ID(), Results: batch}
 	for attempt := 0; attempt < 3; attempt++ {
 		resp, err := w.postJSON(context.Background(), "/v1/work/result", body)
 		if err == nil {
-			var ack struct {
-				Accepted bool `json:"accepted"`
-			}
-			accepted := resp.StatusCode == http.StatusOK &&
-				json.NewDecoder(resp.Body).Decode(&ack) == nil && ack.Accepted
+			var ack ResultsResponse
+			ok := resp.StatusCode == http.StatusOK && json.NewDecoder(resp.Body).Decode(&ack) == nil
 			drainBody(resp.Body)
-			if accepted {
+			if ok && ack.Accepted > 0 {
 				w.mu.Lock()
-				w.done++
+				w.done += int64(ack.Accepted)
 				w.mu.Unlock()
 			}
 			return
 		}
 		time.Sleep(w.opts.Backoff)
 	}
-	w.logf("dist: result post for task %s never landed; leaving the registry so its lease requeues", asg.TaskID)
+	w.logf("dist: result post for %d task(s) never landed; leaving the registry so their leases requeue", len(batch))
 	w.deregister()
 }
 

@@ -1,0 +1,93 @@
+package exp
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"repro/internal/fingerprint"
+	"repro/internal/policy"
+)
+
+// policyPairOpts are the frozen budgets behind the policy-pair hash file.
+// Small on purpose: the sweep runs every built-in fetch x issue pair.
+func policyPairOpts() Opts {
+	return Opts{Runs: 1, Warmup: 1_000, Measure: 2_000, Seed: 1}
+}
+
+// TestPolicyPairFingerprints pins the Results fingerprint of every
+// registered built-in fetch x issue policy pair to the values committed in
+// testdata/policy_pairs.golden.json. The golden file extends the frozen-hash
+// pattern from the policy-registry redesign one level up: not just "policy
+// names still content-address identically" but "every selector still
+// simulates identically, cycle for cycle". Hot-path rewrites that must not
+// change modeled behavior — sort replacements on the issue and fetch paths,
+// scratch-buffer reuse, event-ring changes — are verified against it.
+//
+// Refresh after an intentional simulator change with:
+//
+//	go test ./internal/exp -run PolicyPairFingerprints -update
+func TestPolicyPairFingerprints(t *testing.T) {
+	fetches := policy.FetchNames()
+	issues := policy.IssueNames()
+	sort.Strings(fetches)
+	sort.Strings(issues)
+
+	o := policyPairOpts()
+	got := make(map[string]string, len(fetches)*len(issues))
+	type result struct {
+		pair, hash string
+	}
+	ch := make(chan result)
+	for _, f := range fetches {
+		for _, is := range issues {
+			f, is := f, is
+			go func() {
+				cfg := MustFetchScheme(4, f, 2, 8)
+				cfg.IssuePolicy = policy.IssueAlg(is)
+				res := Simulate(cfg, 0, o.Seed, o, 0, nil)
+				ch <- result{f + "/" + is, fingerprint.Of(res)}
+			}()
+		}
+	}
+	for i := 0; i < len(fetches)*len(issues); i++ {
+		r := <-ch
+		got[r.pair] = r.hash
+	}
+
+	path := filepath.Join("testdata", "policy_pairs.golden.json")
+	if *update {
+		buf, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	want := map[string]string{}
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatal(err)
+	}
+	for pair, h := range got {
+		if want[pair] == "" {
+			t.Errorf("pair %s missing from %s (new policy? rerun with -update)", pair, path)
+			continue
+		}
+		if h != want[pair] {
+			t.Errorf("pair %s: Results fingerprint drifted: got %s want %s", pair, h, want[pair])
+		}
+	}
+	for pair := range want {
+		if _, ok := got[pair]; !ok {
+			t.Errorf("pair %s in %s no longer registered", pair, path)
+		}
+	}
+}

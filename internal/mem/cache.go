@@ -119,14 +119,33 @@ type cache struct {
 	lines   []line // sets * assoc
 	lruTick uint32
 
+	// Every geometry parameter is a validated power of two, so the
+	// per-access address arithmetic runs on precomputed shifts and masks
+	// instead of integer division (which dominates an access's cost
+	// otherwise — lineAddr/setTag/bank run several times per reference).
+	lineShift uint
+	setMask   uint64
+	setShift  uint
+	bankShift uint
+	bankMask  uint64
+
 	bankLast    []int64    // last cycle each bank accepted an access
 	nextAccess  int64      // port throttle (AccessEvery)
 	fills       []interval // scheduled fill-occupancy windows
 	lastFillEnd int64      // serializes overlapping fills
 
-	mshr    map[uint64]int64 // in-flight line fills: lineAddr -> done cycle
-	busNext int64            // bus to the next level: next free cycle
+	mshr    []mshrEntry // in-flight line fills, at most MSHRs entries
+	busNext int64       // bus to the next level: next free cycle
 	stats   Stats
+}
+
+// mshrEntry records one in-flight line fill. The table is a flat slice —
+// it holds at most cfg.MSHRs (8..16) entries, where a linear scan beats a
+// map and, unlike map iteration, costs nothing to walk on the expiry
+// check every access performs.
+type mshrEntry struct {
+	line uint64 // line address
+	done int64  // fill completion cycle
 }
 
 // interval is a half-open busy window [start, end) over a set of banks.
@@ -178,12 +197,17 @@ func (c *cache) scheduleFill(arrive int64, addr int64) int64 {
 func newCache(name string, cfg CacheConfig) *cache {
 	sets := cfg.SizeBytes / cfg.LineBytes / cfg.Assoc
 	c := &cache{
-		cfg:      cfg,
-		name:     name,
-		sets:     sets,
-		lines:    make([]line, sets*cfg.Assoc),
-		bankLast: make([]int64, cfg.Banks),
-		mshr:     make(map[uint64]int64, cfg.MSHRs),
+		cfg:       cfg,
+		name:      name,
+		sets:      sets,
+		lines:     make([]line, sets*cfg.Assoc),
+		bankLast:  make([]int64, cfg.Banks),
+		mshr:      make([]mshrEntry, 0, cfg.MSHRs),
+		lineShift: log2(cfg.LineBytes),
+		setMask:   uint64(sets) - 1,
+		setShift:  log2(sets),
+		bankShift: log2(cfg.BankGranule),
+		bankMask:  uint64(cfg.Banks) - 1,
 	}
 	for i := range c.bankLast {
 		c.bankLast[i] = -1 // "never used", distinct from cycle 0
@@ -196,25 +220,47 @@ func newCache(name string, cfg CacheConfig) *cache {
 // issued, so this check must precede the tag probe for correct timing.
 func (c *cache) inflight(now int64, addr int64) (done int64, ok bool) {
 	c.expireMSHRs(now)
-	done, ok = c.mshr[c.lineAddr(addr)]
-	return done, ok
+	return c.mshrLookup(c.lineAddr(addr))
 }
 
-func (c *cache) lineAddr(addr int64) uint64 { return uint64(addr) / uint64(c.cfg.LineBytes) }
+// mshrLookup finds the in-flight fill for a line address, if any.
+func (c *cache) mshrLookup(la uint64) (done int64, ok bool) {
+	for i := range c.mshr {
+		if c.mshr[i].line == la {
+			return c.mshr[i].done, true
+		}
+	}
+	return 0, false
+}
+
+// log2 returns the exponent of a validated power of two.
+func log2(v int) uint {
+	s := uint(0)
+	for 1<<s < v {
+		s++
+	}
+	return s
+}
+
+func (c *cache) lineAddr(addr int64) uint64 { return uint64(addr) >> c.lineShift }
 
 func (c *cache) setTag(addr int64) (set int, tag uint64) {
 	la := c.lineAddr(addr)
-	return int(la % uint64(c.sets)), la / uint64(c.sets)
+	return int(la & c.setMask), la >> c.setShift
 }
 
 // Bank returns the bank index addr maps to.
 func (c *cache) bank(addr int64) int {
-	return int(uint64(addr) / uint64(c.cfg.BankGranule) % uint64(c.cfg.Banks))
+	return int(uint64(addr) >> c.bankShift & c.bankMask)
 }
 
 // probe checks the tags without side effects.
 func (c *cache) probe(addr int64) bool {
 	set, tag := c.setTag(addr)
+	if c.cfg.Assoc == 1 {
+		l := &c.lines[set]
+		return l.valid && l.tag == tag
+	}
 	base := set * c.cfg.Assoc
 	for w := 0; w < c.cfg.Assoc; w++ {
 		if l := &c.lines[base+w]; l.valid && l.tag == tag {
@@ -224,9 +270,23 @@ func (c *cache) probe(addr int64) bool {
 	return false
 }
 
-// touch updates LRU (and dirty) for a hit; returns false on miss.
+// touch updates LRU (and dirty) for a hit; returns false on miss. The
+// direct-mapped fast path (all of Table 2's L1s and the L3) indexes the
+// single candidate line without the way loop.
 func (c *cache) touch(addr int64, write bool) bool {
 	set, tag := c.setTag(addr)
+	if c.cfg.Assoc == 1 {
+		l := &c.lines[set]
+		if l.valid && l.tag == tag {
+			c.lruTick++
+			l.lru = c.lruTick
+			if write {
+				l.dirty = true
+			}
+			return true
+		}
+		return false
+	}
 	base := set * c.cfg.Assoc
 	for w := 0; w < c.cfg.Assoc; w++ {
 		l := &c.lines[base+w]
@@ -264,22 +324,26 @@ func (c *cache) install(addr int64, write bool) (evictedDirty bool) {
 	return evictedDirty
 }
 
-// expireMSHRs drops completed fills from the MSHR table.
+// expireMSHRs drops completed fills from the MSHR table. Survivor order is
+// preserved, though nothing depends on it — lookups are by line address
+// and expiry/wait scan the whole table.
 func (c *cache) expireMSHRs(now int64) {
-	for la, done := range c.mshr {
-		if done <= now {
-			delete(c.mshr, la)
+	keep := c.mshr[:0]
+	for _, e := range c.mshr {
+		if e.done > now {
+			keep = append(keep, e)
 		}
 	}
+	c.mshr = keep
 }
 
 // mshrWait returns the earliest cycle at which an MSHR entry frees, used
 // when the table is full (the request queues until then).
 func (c *cache) mshrWait() int64 {
 	min := int64(-1)
-	for _, done := range c.mshr {
-		if min < 0 || done < min {
-			min = done
+	for _, e := range c.mshr {
+		if min < 0 || e.done < min {
+			min = e.done
 		}
 	}
 	return min
@@ -506,7 +570,7 @@ func (h *Hierarchy) fill(l Level, t int64, addr int64, write bool) int64 {
 	c := h.caches[l]
 	la := c.lineAddr(addr)
 	c.expireMSHRs(t)
-	if done, ok := c.mshr[la]; ok {
+	if done, ok := c.mshrLookup(la); ok {
 		// Merge with the in-flight fill for this line.
 		if done > t {
 			return done
@@ -547,7 +611,7 @@ func (h *Hierarchy) fill(l Level, t int64, addr int64, write bool) int64 {
 			c.busNext += int64(c.cfg.TransferTime)
 		}
 	}
-	c.mshr[la] = arrive
+	c.mshr = append(c.mshr, mshrEntry{line: la, done: arrive})
 	return arrive
 }
 

@@ -31,36 +31,57 @@ func (c TLBConfig) Validate(name string) error {
 // naturally private to a thread while the capacity is shared — matching a
 // shared TLB under a multiprogrammed workload.
 type TLB struct {
-	cfg     TLBConfig
-	pages   []uint64
-	lru     []uint32
-	valid   []bool
-	lruTick uint32
-	stats   Stats
+	cfg       TLBConfig
+	pages     []uint64
+	lru       []uint32
+	valid     []bool
+	lruTick   uint32
+	last      int  // entry of the most recent hit or install (MRU filter)
+	pageShift uint // PageBytes is a validated power of two
+	stats     Stats
 }
 
 // NewTLB builds a TLB; the zero config panics (use DefaultConfig).
 func NewTLB(cfg TLBConfig) *TLB {
+	shift := uint(0)
+	for 1<<shift < cfg.PageBytes {
+		shift++
+	}
 	return &TLB{
-		cfg:   cfg,
-		pages: make([]uint64, cfg.Entries),
-		lru:   make([]uint32, cfg.Entries),
-		valid: make([]bool, cfg.Entries),
+		cfg:       cfg,
+		pages:     make([]uint64, cfg.Entries),
+		lru:       make([]uint32, cfg.Entries),
+		valid:     make([]bool, cfg.Entries),
+		pageShift: shift,
 	}
 }
 
 // Lookup translates addr, returning false on a miss. A miss installs the
 // page (the hardware walk always succeeds in this model).
+//
+// Consecutive accesses overwhelmingly hit the same page (every I-fetch of
+// a straight-line run, every stride walk), so the most recent entry is
+// probed first — a pure fast path: stats and LRU updates are exactly what
+// the full scan would have produced for that entry.
 func (t *TLB) Lookup(addr int64) bool {
-	page := uint64(addr) / uint64(t.cfg.PageBytes)
+	page := uint64(addr) >> t.pageShift
 	t.stats.Accesses++
 	t.lruTick++
-	victim := 0
+	if l := t.last; t.valid[l] && t.pages[l] == page {
+		t.lru[l] = t.lruTick
+		return true
+	}
+	// Hit scan: a bare tag-match walk. Victim selection is deferred to the
+	// (rare) miss path so hits never pay for LRU bookkeeping.
 	for i := range t.pages {
 		if t.valid[i] && t.pages[i] == page {
 			t.lru[i] = t.lruTick
+			t.last = i
 			return true
 		}
+	}
+	victim := 0
+	for i := range t.pages {
 		if !t.valid[i] {
 			victim = i
 		} else if t.valid[victim] && t.lru[i] < t.lru[victim] {
@@ -71,6 +92,7 @@ func (t *TLB) Lookup(addr int64) bool {
 	t.pages[victim] = page
 	t.valid[victim] = true
 	t.lru[victim] = t.lruTick
+	t.last = victim
 	return false
 }
 

@@ -7,38 +7,45 @@ package policy
 func init() {
 	// Section 5.2 fetch policies. Each comparison reproduces the historical
 	// key ordering: smaller counter first, ties round-robin (the stable
-	// sort over the rotation order).
-	MustRegisterFetch(NewFetchSelector(string(RR), nil, false))
-	MustRegisterFetch(NewFetchSelector(string(BRCount), func(a, b ThreadFeedback) bool {
-		return a.BrCount < b.BrCount
-	}, false))
-	MustRegisterFetch(NewFetchSelector(string(MissCount), func(a, b ThreadFeedback) bool {
-		return a.MissCount < b.MissCount
-	}, false))
-	MustRegisterFetch(NewFetchSelector(string(ICount), func(a, b ThreadFeedback) bool {
-		return a.ICount < b.ICount
-	}, false))
-	MustRegisterFetch(NewFetchSelector(string(IQPosn), func(a, b ThreadFeedback) bool {
-		return a.IQPosn > b.IQPosn // farthest from the head first
-	}, true))
+	// sort over the rotation order). Built-ins are constructed directly so
+	// each can declare the exact feedback fields it reads — the core skips
+	// maintaining the rest.
+	MustRegisterFetch(&fetchFunc{name: string(RR)})
+	MustRegisterFetch(&fetchFunc{name: string(BRCount),
+		needs: FeedbackNeeds{BrCount: true},
+		less:  func(a, b ThreadFeedback) bool { return a.BrCount < b.BrCount }})
+	MustRegisterFetch(&fetchFunc{name: string(MissCount),
+		needs: FeedbackNeeds{MissCount: true},
+		less:  func(a, b ThreadFeedback) bool { return a.MissCount < b.MissCount }})
+	MustRegisterFetch(&fetchFunc{name: string(ICount),
+		needs: FeedbackNeeds{ICount: true},
+		less:  func(a, b ThreadFeedback) bool { return a.ICount < b.ICount }})
+	MustRegisterFetch(&fetchFunc{name: string(IQPosn),
+		needs: FeedbackNeeds{IQPosn: true},
+		less:  func(a, b ThreadFeedback) bool { return a.IQPosn > b.IQPosn }}) // farthest from the head first
 
 	// Composite fetch policies beyond the paper.
-	MustRegisterFetch(NewFetchSelector(string(ICountBRCount), func(a, b ThreadFeedback) bool {
-		if a.ICount != b.ICount {
-			return a.ICount < b.ICount
-		}
-		return a.BrCount < b.BrCount
-	}, false))
-	MustRegisterFetch(NewFetchSelector(string(ICountWeightedMiss), func(a, b ThreadFeedback) bool {
-		return a.ICount+2*a.MissCount < b.ICount+2*b.MissCount
-	}, false))
+	MustRegisterFetch(&fetchFunc{name: string(ICountBRCount),
+		needs: FeedbackNeeds{ICount: true, BrCount: true},
+		less: func(a, b ThreadFeedback) bool {
+			if a.ICount != b.ICount {
+				return a.ICount < b.ICount
+			}
+			return a.BrCount < b.BrCount
+		}})
+	MustRegisterFetch(&fetchFunc{name: string(ICountWeightedMiss),
+		needs: FeedbackNeeds{ICount: true, MissCount: true},
+		less: func(a, b ThreadFeedback) bool {
+			return a.ICount+2*a.MissCount < b.ICount+2*b.MissCount
+		}})
 
-	// Section 6 issue policies.
+	// Section 6 issue policies, each declaring the one IssueInfo flag its
+	// partition reads.
 	MustRegisterIssue(oldestFirst{})
-	MustRegisterIssue(&flagIssue{name: string(OptLast), opt: true,
+	MustRegisterIssue(&flagIssue{name: string(OptLast), needs: IssueNeeds{Optimistic: true},
 		first: func(i IssueInfo) bool { return !i.Optimistic }})
-	MustRegisterIssue(&flagIssue{name: string(SpecLast),
+	MustRegisterIssue(&flagIssue{name: string(SpecLast), needs: IssueNeeds{Speculative: true},
 		first: func(i IssueInfo) bool { return !i.Speculative }})
-	MustRegisterIssue(&flagIssue{name: string(BranchFirst),
+	MustRegisterIssue(&flagIssue{name: string(BranchFirst), needs: IssueNeeds{Branch: true},
 		first: func(i IssueInfo) bool { return i.Branch }})
 }

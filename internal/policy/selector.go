@@ -1,7 +1,5 @@
 package policy
 
-import "sort"
-
 // FetchSelector is the fetch-policy extension point: given the per-thread
 // feedback the core maintains, order the hardware contexts best-first.
 //
@@ -37,16 +35,45 @@ func ReadsQueuePositions(s FetchSelector) bool {
 	return true
 }
 
+// FeedbackNeeds declares which ThreadFeedback fields a fetch selector
+// actually reads, so the core maintains and publishes only those each
+// cycle. IQPosn is the expensive one (a both-queue scan per cycle); the
+// counters are cheap but skipping them keeps the feedback build
+// branch-free for RR, which reads nothing at all.
+type FeedbackNeeds struct {
+	ICount    bool
+	BrCount   bool
+	MissCount bool
+	IQPosn    bool
+}
+
+// FeedbackNeedsReader is an optional FetchSelector refinement declaring
+// the selector's exact feedback requirements. Selectors not implementing
+// it are assumed to read every counter (the safe default for custom
+// policies), with IQPosn still governed by QueuePositionReader.
+type FeedbackNeedsReader interface {
+	FeedbackNeeds() FeedbackNeeds
+}
+
+// FeedbackNeedsOf resolves the feedback fields the core must fill for s.
+func FeedbackNeedsOf(s FetchSelector) FeedbackNeeds {
+	if r, ok := s.(FeedbackNeedsReader); ok {
+		return r.FeedbackNeeds()
+	}
+	return FeedbackNeeds{ICount: true, BrCount: true, MissCount: true, IQPosn: ReadsQueuePositions(s)}
+}
+
 // fetchFunc is the standard FetchSelector shape: rotation order, then a
 // stable sort by a feedback comparison (nil keeps pure rotation — RR).
 type fetchFunc struct {
-	name string
-	less func(a, b ThreadFeedback) bool
-	posn bool
+	name  string
+	less  func(a, b ThreadFeedback) bool
+	needs FeedbackNeeds
 }
 
-func (s *fetchFunc) Name() string              { return s.name }
-func (s *fetchFunc) ReadsQueuePositions() bool { return s.posn }
+func (s *fetchFunc) Name() string                 { return s.name }
+func (s *fetchFunc) ReadsQueuePositions() bool    { return s.needs.IQPosn }
+func (s *fetchFunc) FeedbackNeeds() FeedbackNeeds { return s.needs }
 
 func (s *fetchFunc) Order(rrBase int, fb []ThreadFeedback, out []int) []int {
 	n := len(fb)
@@ -55,7 +82,20 @@ func (s *fetchFunc) Order(rrBase int, fb []ThreadFeedback, out []int) []int {
 		out = append(out, (rrBase+i)%n)
 	}
 	if s.less != nil {
-		sort.SliceStable(out, func(i, j int) bool { return s.less(fb[out[i]], fb[out[j]]) })
+		// Stable insertion sort over the rotation order: closure-free (no
+		// per-cycle allocation, unlike sort.SliceStable's func values and
+		// reflection swapper) and fast for the bounded thread counts the
+		// machine runs. Shifting only on strict less keeps equal keys in
+		// rotation order — the same permutation a stable sort produces.
+		for i := 1; i < n; i++ {
+			t := out[i]
+			j := i
+			for j > 0 && s.less(fb[t], fb[out[j-1]]) {
+				out[j] = out[j-1]
+				j--
+			}
+			out[j] = t
+		}
 	}
 	return out
 }
@@ -65,9 +105,11 @@ func (s *fetchFunc) Order(rrBase int, fb []ThreadFeedback, out []int) []int {
 // in the paper. A nil less keeps pure rotation order. readsQueuePositions
 // declares whether less consults ThreadFeedback.IQPosn (see
 // QueuePositionReader); pass false unless it does, to spare the per-cycle
-// queue scan.
+// queue scan. Selectors built here are assumed to read every counter; the
+// built-ins declare tighter FeedbackNeeds at registration.
 func NewFetchSelector(name string, less func(a, b ThreadFeedback) bool, readsQueuePositions bool) FetchSelector {
-	return &fetchFunc{name: name, less: less, posn: readsQueuePositions}
+	return &fetchFunc{name: name, less: less,
+		needs: FeedbackNeeds{ICount: true, BrCount: true, MissCount: true, IQPosn: readsQueuePositions}}
 }
 
 // IssueSelector is the issue-policy extension point: a strict weak ordering
@@ -100,6 +142,33 @@ func ReadsOptimism(s IssueSelector) bool {
 	return true
 }
 
+// IssueNeeds declares which IssueInfo fields an issue selector actually
+// reads (Age is always maintained — it is the candidate order itself).
+// Optimistic costs two register-file probes per candidate per cycle;
+// Speculative costs a both-queue scan per cycle for the per-thread oldest
+// unresolved branch. The core computes only what the selector declares.
+type IssueNeeds struct {
+	Optimistic  bool
+	Speculative bool
+	Branch      bool
+}
+
+// IssueNeedsReader is an optional IssueSelector refinement declaring the
+// selector's exact IssueInfo requirements. Selectors not implementing it
+// are assumed to read everything (the safe default for custom policies),
+// with Optimistic still governed by OptimismReader.
+type IssueNeedsReader interface {
+	IssueNeeds() IssueNeeds
+}
+
+// IssueNeedsOf resolves the IssueInfo fields the core must fill for s.
+func IssueNeedsOf(s IssueSelector) IssueNeeds {
+	if r, ok := s.(IssueNeedsReader); ok {
+		return r.IssueNeeds()
+	}
+	return IssueNeeds{Optimistic: ReadsOptimism(s), Speculative: true, Branch: true}
+}
+
 // IssuePartitioner is an optional IssueSelector fast path for policies
 // whose order is a single stable boolean partition of the age-sorted
 // candidate list (all of the paper's non-default policies). The core
@@ -125,18 +194,20 @@ func (oldestFirst) Less(a, b IssueInfo) bool { return a.Age < b.Age }
 func (oldestFirst) ReadsOptimism() bool      { return false }
 func (oldestFirst) OrderNeutralIssue()       {}
 func (oldestFirst) First(IssueInfo) bool     { return true }
+func (oldestFirst) IssueNeeds() IssueNeeds   { return IssueNeeds{} }
 
 // flagIssue is the shape of the paper's non-default issue policies: one
 // boolean partition with oldest-first tie-break.
 type flagIssue struct {
 	name  string
 	first func(IssueInfo) bool
-	opt   bool // reads IssueInfo.Optimistic
+	needs IssueNeeds // the single flag the partition reads
 }
 
 func (s *flagIssue) Name() string           { return s.name }
-func (s *flagIssue) ReadsOptimism() bool    { return s.opt }
+func (s *flagIssue) ReadsOptimism() bool    { return s.needs.Optimistic }
 func (s *flagIssue) First(i IssueInfo) bool { return s.first(i) }
+func (s *flagIssue) IssueNeeds() IssueNeeds { return s.needs }
 
 func (s *flagIssue) Less(a, b IssueInfo) bool {
 	if fa, fb := s.first(a), s.first(b); fa != fb {
