@@ -43,9 +43,21 @@ type report struct {
 	// VsPrePR, when present in a committed seed, records the before/after
 	// evidence from the PR that introduced or last refreshed the file —
 	// the measured hot-path delta that the committed trajectory point
-	// embodies. Fresh runs leave it unset; it is carried in the committed
-	// JSON by hand when the seed is refreshed after an optimization.
+	// embodies. Fresh runs leave it unset; -out carries it forward from
+	// the existing file so refreshing the seed never drops the evidence.
 	VsPrePR *prDelta `json:"vs_pre_pr,omitempty"`
+
+	// Trajectory accumulates one point per -out run over the file's
+	// lifetime: refreshing the seed appends the fresh measurement instead
+	// of erasing history, so the committed file reads as the simulator's
+	// speed over the repo's whole life, not just its latest value.
+	Trajectory []trajPoint `json:"trajectory,omitempty"`
+}
+
+// trajPoint is one historical measurement: per-config ns/cycle on a date.
+type trajPoint struct {
+	Date       string             `json:"date"`
+	NsPerCycle map[string]float64 `json:"ns_per_cycle"`
 }
 
 // prDelta is one before/after benchmark record.
@@ -140,11 +152,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *out != "" {
+		carryForward(*out, &rep)
 		if err := writeReport(*out, rep); err != nil {
 			fmt.Fprintln(stderr, "benchcore:", err)
 			return 1
 		}
-		fmt.Fprintf(stdout, "wrote %s\n", *out)
+		fmt.Fprintf(stdout, "wrote %s (%d trajectory point(s))\n", *out, len(rep.Trajectory))
 	}
 	if *check != "" {
 		if code := checkAgainst(*check, rep, *tol, stdout, stderr); code != 0 {
@@ -226,6 +239,38 @@ func checkAgainst(path string, fresh report, tol float64, stdout, stderr io.Writ
 		return 1
 	}
 	return 0
+}
+
+// carryForward merges the fresh measurement into the history an existing
+// file at path holds: its trajectory (plus its own Configs, when it
+// predates trajectories) and its hand-curated VsPrePR evidence survive
+// the overwrite, and the fresh run appends as the newest trajectory
+// point. A missing or unparsable file simply starts a new history.
+func carryForward(path string, rep *report) {
+	if raw, err := os.ReadFile(path); err == nil {
+		var prev report
+		if json.Unmarshal(raw, &prev) == nil {
+			rep.Trajectory = prev.Trajectory
+			if len(prev.Trajectory) == 0 && len(prev.Configs) > 0 {
+				// A pre-trajectory seed: its snapshot is the history's
+				// first point.
+				rep.Trajectory = []trajPoint{trajectoryPoint(prev)}
+			}
+			if rep.VsPrePR == nil {
+				rep.VsPrePR = prev.VsPrePR
+			}
+		}
+	}
+	rep.Trajectory = append(rep.Trajectory, trajectoryPoint(*rep))
+}
+
+// trajectoryPoint condenses a report into its trajectory record.
+func trajectoryPoint(rep report) trajPoint {
+	p := trajPoint{Date: rep.Date, NsPerCycle: map[string]float64{}}
+	for _, e := range rep.Configs {
+		p.NsPerCycle[e.Name] = e.NsPerCycle
+	}
+	return p
 }
 
 func writeReport(path string, rep report) error {

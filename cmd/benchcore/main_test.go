@@ -81,6 +81,90 @@ func TestBenchcoreCheckFailsOnRegression(t *testing.T) {
 	}
 }
 
+func TestBenchcoreTrajectoryAccumulates(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_core.json")
+	var stdout, stderr bytes.Buffer
+	if code := run(append([]string{"-out", out}, small...), &stdout, &stderr); code != 0 {
+		t.Fatalf("first run = %d, stderr: %s", code, stderr.String())
+	}
+	var first report
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, &first); err != nil {
+		t.Fatal(err)
+	}
+	if len(first.Trajectory) != 1 {
+		t.Fatalf("fresh file has %d trajectory points, want 1", len(first.Trajectory))
+	}
+
+	// Hand-plant the evidence block a refreshed seed must not drop.
+	first.VsPrePR = &prDelta{Benchmark: "x", BeforeNsPerOp: 2, AfterNsPerOp: 1, Reduction: 0.5}
+	raw, _ = json.Marshal(first)
+	if err := os.WriteFile(out, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if code := run(append([]string{"-out", out}, small...), &stdout, &stderr); code != 0 {
+		t.Fatalf("second run = %d, stderr: %s", code, stderr.String())
+	}
+	var second report
+	raw, err = os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, &second); err != nil {
+		t.Fatal(err)
+	}
+	if len(second.Trajectory) != 2 {
+		t.Fatalf("refreshed file has %d trajectory points, want 2", len(second.Trajectory))
+	}
+	for i, p := range second.Trajectory {
+		if p.Date == "" || len(p.NsPerCycle) != len(matrix) {
+			t.Fatalf("trajectory[%d] malformed: %+v", i, p)
+		}
+	}
+	if second.VsPrePR == nil || second.VsPrePR.Benchmark != "x" {
+		t.Fatalf("vs_pre_pr dropped on refresh: %+v", second.VsPrePR)
+	}
+	if second.Trajectory[0].NsPerCycle["superscalar"] != first.Trajectory[0].NsPerCycle["superscalar"] {
+		t.Fatal("refresh rewrote the first trajectory point instead of appending")
+	}
+}
+
+func TestBenchcoreTrajectoryAdoptsPreTrajectorySeed(t *testing.T) {
+	// A committed file from before trajectories existed has Configs but no
+	// Trajectory; refreshing it must adopt its snapshot as point one.
+	seed := report{Bench: "core_cycle_loop", Date: "2026-01-01"}
+	for _, m := range matrix {
+		seed.Configs = append(seed.Configs, entry{Name: m.name, NsPerCycle: 123})
+	}
+	path := filepath.Join(t.TempDir(), "seed.json")
+	raw, _ := json.Marshal(seed)
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run(append([]string{"-out", path}, small...), &stdout, &stderr); code != 0 {
+		t.Fatalf("run = %d, stderr: %s", code, stderr.String())
+	}
+	var rep report
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Trajectory) != 2 {
+		t.Fatalf("got %d trajectory points, want 2 (adopted seed + fresh)", len(rep.Trajectory))
+	}
+	if rep.Trajectory[0].Date != "2026-01-01" || rep.Trajectory[0].NsPerCycle[matrix[0].name] != 123 {
+		t.Fatalf("seed snapshot not adopted as first point: %+v", rep.Trajectory[0])
+	}
+}
+
 func TestBenchcoreRejectsBadFlags(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	if code := run([]string{"-measure", "0"}, &stdout, &stderr); code != 2 {

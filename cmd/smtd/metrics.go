@@ -1,0 +1,105 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+)
+
+// handleMetrics serves GET /metrics in the Prometheus text exposition
+// format (hand-rolled: the format is a dozen lines of fmt and the repo
+// takes no dependencies). One scrape answers the operational questions a
+// fleet of coordinators raises: per-tier cache hit/miss/eviction rates,
+// federation traffic, lease latency, queue depth, per-worker capacity —
+// and the autoscale signal (smtd_autoscale_wanted_slots, saturation)
+// that a deployment layer alerts and scales on.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var b bytes.Buffer
+
+	// Cache tiers.
+	ms := s.mem.Stats()
+	counter(&b, "smtd_cache_memory_hits_total", "Memory-tier cache hits.", float64(ms.Hits))
+	counter(&b, "smtd_cache_memory_misses_total", "Memory-tier cache misses.", float64(ms.Misses))
+	counter(&b, "smtd_cache_memory_evictions_total", "Memory-tier LRU evictions.", float64(ms.Evictions))
+	gauge(&b, "smtd_cache_memory_entries", "Results held in the memory tier.", float64(ms.Len))
+	gauge(&b, "smtd_cache_memory_capacity", "Memory-tier capacity (0 = unbounded).", float64(ms.Cap))
+	if s.disk != nil {
+		ds := s.disk.Stats()
+		counter(&b, "smtd_cache_disk_hits_total", "Disk-tier cache hits (memory misses served from disk).", float64(ds.Hits))
+		counter(&b, "smtd_cache_disk_misses_total", "Disk-tier cache misses.", float64(ds.Misses))
+		counter(&b, "smtd_cache_disk_corrupt_total", "Disk entries dropped as corrupt (checksum or decode failure).", float64(ds.Corrupt))
+		gauge(&b, "smtd_cache_disk_entries", "Results held in the durable disk tier.", float64(ds.Entries))
+		gauge(&b, "smtd_cache_disk_warm_entries", "Entries recovered by the boot-time directory scan.", float64(ds.Warm))
+	}
+	if s.fed != nil {
+		ps := s.fed.Stats()
+		counter(&b, "smtd_cache_peer_hits_total", "Local misses served by the key's owning peer.", float64(ps.PeerHits))
+		counter(&b, "smtd_cache_peer_misses_total", "Owner-peer probes that missed too.", float64(ps.PeerMisses))
+		counter(&b, "smtd_cache_peer_fills_total", "Fills forwarded to the key's owning peer.", float64(ps.PeerFills))
+		gauge(&b, "smtd_cache_peer_members", "Coordinators in the federation ring (self included).", float64(len(ps.Members)))
+	}
+
+	// Sweeps.
+	s.mu.Lock()
+	var running, done, failed, jobsDone, sweepHits int
+	for _, sw := range s.sweeps {
+		switch sw.state {
+		case "running":
+			running++
+		case "done":
+			done++
+		case "failed":
+			failed++
+		}
+		jobsDone += sw.doneJobs
+		sweepHits += sw.cacheHits
+	}
+	s.mu.Unlock()
+	gauge(&b, "smtd_sweeps_running", "Sweeps currently executing.", float64(running))
+	gauge(&b, "smtd_sweeps_done", "Finished sweeps retained in history.", float64(done))
+	gauge(&b, "smtd_sweeps_failed", "Failed sweeps retained in history.", float64(failed))
+	counter(&b, "smtd_sweep_jobs_done_total", "Jobs completed across retained sweeps.", float64(jobsDone))
+	counter(&b, "smtd_sweep_cache_hits_total", "Jobs served from cache across retained sweeps.", float64(sweepHits))
+
+	// Scheduler, fleet, and the autoscale signal.
+	st := s.coord.Stats()
+	gauge(&b, "smtd_dist_queue_depth", "Dispatched jobs queued and unassigned.", float64(st.Pending))
+	gauge(&b, "smtd_dist_assigned", "Jobs currently leased to workers.", float64(st.Assigned))
+	gauge(&b, "smtd_dist_capacity", "Total simulation slots offered by live workers.", float64(st.Capacity))
+	counter(&b, "smtd_dist_dispatched_total", "Jobs ever handed to the scheduler.", float64(st.Dispatched))
+	counter(&b, "smtd_dist_remote_done_total", "Jobs completed by workers.", float64(st.RemoteDone))
+	counter(&b, "smtd_dist_local_done_total", "Jobs completed by coordinator-local fallback.", float64(st.LocalDone))
+	counter(&b, "smtd_dist_requeues_total", "Lease expiries and worker-death requeues.", float64(st.Requeues))
+	counter(&b, "smtd_dist_remote_cache_hits_total", "Worker results served from the shared cache.", float64(st.RemoteCacheHits))
+	counter(&b, "smtd_dist_leases_total", "Job leases ever granted to workers.", float64(st.Leases))
+	counter(&b, "smtd_dist_lease_wait_seconds_total", "Total time granted leases spent queued; divide by smtd_dist_leases_total for the mean.", st.LeaseWaitSecondsTotal)
+	gauge(&b, "smtd_autoscale_free_slots", "Fleet slots not currently leased.", float64(st.Autoscale.FreeSlots))
+	gauge(&b, "smtd_autoscale_wanted_slots", "Slots to add to drain the queue now; scale up while this stays positive.", float64(st.Autoscale.WantedSlots))
+	gauge(&b, "smtd_autoscale_saturation", "(assigned+queued)/capacity; sustained < 1 with 0 wanted slots means the fleet can shrink.", st.Autoscale.Saturation)
+
+	// Per-worker fleet capacity. %q quoting matches the exposition
+	// format's label escaping (backslash, quote, newline).
+	fmt.Fprintf(&b, "# HELP smtd_worker_slots Simulation slots offered by one worker.\n# TYPE smtd_worker_slots gauge\n")
+	for _, wk := range st.Workers {
+		fmt.Fprintf(&b, "smtd_worker_slots{worker=%q,id=%q} %d\n", wk.Name, wk.ID, wk.Slots)
+	}
+	fmt.Fprintf(&b, "# HELP smtd_worker_running Jobs one worker is running right now.\n# TYPE smtd_worker_running gauge\n")
+	for _, wk := range st.Workers {
+		fmt.Fprintf(&b, "smtd_worker_running{worker=%q,id=%q} %d\n", wk.Name, wk.ID, wk.Running)
+	}
+	fmt.Fprintf(&b, "# HELP smtd_worker_completed_total Jobs one worker has completed.\n# TYPE smtd_worker_completed_total counter\n")
+	for _, wk := range st.Workers {
+		fmt.Fprintf(&b, "smtd_worker_completed_total{worker=%q,id=%q} %d\n", wk.Name, wk.ID, wk.Completed)
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	w.Write(b.Bytes())
+}
+
+func counter(b *bytes.Buffer, name, help string, v float64) { metric(b, name, help, "counter", v) }
+func gauge(b *bytes.Buffer, name, help string, v float64)   { metric(b, name, help, "gauge", v) }
+
+func metric(b *bytes.Buffer, name, help, typ string, v float64) {
+	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", name, help, name, typ, name, v)
+}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/pprof"
@@ -24,12 +25,23 @@ import (
 // fetch/issue-policy grids — reuse per-job results instead of
 // re-simulating them, and determinism guarantees a cache hit returns
 // exactly the bytes a fresh simulation would.
+//
+// The cache is a stack. Bottom-up: a bounded in-memory LRU (always); a
+// durable disk tier under it when -cache-dir is set, so a restarted
+// coordinator warm-starts with every result it ever computed; a
+// federation layer over those when -peers is set, consistent-hashing
+// keys across the coordinator set so N coordinators serve one logical
+// cache; and singleflight dedup on top, which is what sweeps consult.
 type Server struct {
-	workers int // local simulation slots (resolved; > 0)
-	store   *cache.Store[smt.Results]
-	flight  *cache.Flight[smt.Results] // store + in-flight dedup, what runners consult
-	sem     chan struct{}              // local simulation slots, shared by every sweep
-	coord   *dist.Coordinator          // execution backend: remote workers, local fallback
+	workers int                           // local simulation slots (resolved; > 0)
+	mem     *cache.Store[smt.Results]     // memory tier (always present)
+	disk    *cache.Disk[smt.Results]      // durable tier; nil without -cache-dir
+	fed     *cache.Federated[smt.Results] // peer federation; nil without -peers
+	local   cache.Getter[smt.Results]     // this node's tiers only (mem, or mem+disk)
+	top     cache.Getter[smt.Results]     // full stack below singleflight (local, or federated)
+	flight  *cache.Flight[smt.Results]    // top + in-flight dedup, what runners consult
+	sem     chan struct{}                 // local simulation slots, shared by every sweep
+	coord   *dist.Coordinator             // execution backend: remote workers, local fallback
 
 	mu         sync.Mutex
 	sweeps     map[string]*sweep
@@ -77,6 +89,28 @@ type jobProgress struct {
 // results) the service retains; running sweeps are never evicted.
 const defaultMaxHistory = 64
 
+// ServerOptions configures a Server beyond the basic knobs.
+type ServerOptions struct {
+	// Workers is the local simulation concurrency (<=0 means GOMAXPROCS).
+	Workers int
+	// CacheSize bounds the in-memory result LRU (0 means unbounded).
+	CacheSize int
+	// CacheDir, when non-empty, adds a durable disk tier under the memory
+	// LRU: results are written atomically as content-addressed files and
+	// the directory is rescanned on boot, so a restart serves prior sweeps
+	// from disk instead of re-simulating.
+	CacheDir string
+	// Self and Peers enable federation: Peers is the FULL coordinator
+	// member list (Self included or not — it is added) and Self is this
+	// node's base URL as peers reach it. Every member must be configured
+	// with the same list so the consistent-hash rings agree.
+	Self  string
+	Peers []string
+	// PeerClient overrides the HTTP client used for peer cache traffic
+	// (tests shorten its timeout); nil gets the federation default.
+	PeerClient *http.Client
+}
+
 // NewServer builds a service with the given simulation concurrency
 // (<=0 means GOMAXPROCS) and result-cache capacity (0 means unbounded).
 // The concurrency bound applies to local simulation: however many sweeps
@@ -85,33 +119,59 @@ const defaultMaxHistory = 64
 // top. Call Close when done with the server outside a process-lifetime
 // context.
 func NewServer(workers, cacheSize int) *Server {
-	n := workers
+	s, err := NewServerWith(ServerOptions{Workers: workers, CacheSize: cacheSize})
+	if err != nil {
+		// Unreachable: without CacheDir nothing in construction can fail.
+		panic(err)
+	}
+	return s
+}
+
+// NewServerWith builds a service with the full option set; the error is
+// non-nil only when the durable cache directory cannot be created or
+// scanned.
+func NewServerWith(opts ServerOptions) (*Server, error) {
+	n := opts.Workers
 	if n <= 0 {
 		n = runtime.GOMAXPROCS(0)
 	}
-	store := cache.New[smt.Results](cacheSize)
 	sem := make(chan struct{}, n)
-	return &Server{
-		workers: n,
-		store:   store,
-		// In-flight dedup on top of the store: concurrent identical sweeps
-		// compute each overlapping job once, the rest wait and take the hit.
-		flight: cache.NewFlight[smt.Results](store),
-		sem:    sem,
-		// The coordinator is every sweep's execution backend. With no
-		// workers registered it runs jobs in-process under the same
-		// semaphore the pre-distribution service used, so a standalone
-		// smtd behaves exactly as before; workers joining at runtime
-		// absorb the jobs of sweeps submitted from then on (a running
-		// sweep keeps dispatching — to them too — but at the dispatch
-		// width fixed when it was submitted).
-		coord: dist.NewCoordinator(dist.Options{
-			LocalSlots:  sem,
-			ServesCache: true,
-		}),
+	s := &Server{
+		workers:    n,
+		mem:        cache.New[smt.Results](opts.CacheSize),
+		sem:        sem,
 		sweeps:     make(map[string]*sweep),
 		maxHistory: defaultMaxHistory,
 	}
+	s.local = s.mem
+	if opts.CacheDir != "" {
+		disk, err := cache.NewDisk[smt.Results](opts.CacheDir)
+		if err != nil {
+			return nil, fmt.Errorf("durable cache: %w", err)
+		}
+		s.disk = disk
+		s.local = cache.NewTiered(s.mem, disk)
+	}
+	s.top = s.local
+	if len(opts.Peers) > 0 {
+		s.fed = cache.NewFederated[smt.Results](s.local, opts.Self, opts.Peers, opts.PeerClient)
+		s.top = s.fed
+	}
+	// In-flight dedup on top of the stack: concurrent identical sweeps
+	// compute each overlapping job once, the rest wait and take the hit.
+	s.flight = cache.NewFlight[smt.Results](s.top)
+	// The coordinator is every sweep's execution backend. With no
+	// workers registered it runs jobs in-process under the same
+	// semaphore the pre-distribution service used, so a standalone
+	// smtd behaves exactly as before; workers joining at runtime
+	// absorb the jobs of sweeps submitted from then on (a running
+	// sweep keeps dispatching — to them too — but at the dispatch
+	// width fixed when it was submitted).
+	s.coord = dist.NewCoordinator(dist.Options{
+		LocalSlots:  sem,
+		ServesCache: true,
+	})
+	return s, nil
 }
 
 // Close stops the coordinator's background lease janitor.
@@ -168,6 +228,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	mux.HandleFunc("GET /v1/cache", s.handleCache)
+	// Prometheus-style exposition of every tier and the scheduler; see
+	// metrics.go.
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	// Shared-cache peek/fill for distributed workers: keys are the
 	// engine's job content addresses, values canonical smt.Results JSON.
 	mux.HandleFunc("GET /v1/cache/{key}", s.handleCacheGet)
@@ -226,11 +289,27 @@ func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, info)
 }
 
+// Request body caps for the service's write endpoints. One smt.Results
+// JSON is a few KB; a sweep request with a large inline grid still fits
+// in single-digit MB. Anything past these is a bug or abuse, and
+// buffering it would balloon the coordinator's heap.
+const (
+	maxCachePutBody = 8 << 20
+	maxSweepBody    = 8 << 20
+)
+
 // handleCacheGet peeks one content-addressed result. Workers call it
 // before simulating so a job any node already ran is never run twice.
+// Requests already carrying the federation hop marker are answered from
+// this node's local tiers only — never re-forwarded to another peer — so
+// federated lookups are single-hop by construction (see cache.PeerHeader).
 func (s *Server) handleCacheGet(w http.ResponseWriter, r *http.Request) {
 	key := r.PathValue("key")
-	res, ok := s.store.Get(key)
+	tier := s.top
+	if r.Header.Get(cache.PeerHeader) != "" {
+		tier = s.local
+	}
+	res, ok := tier.Get(key)
 	if !ok {
 		writeError(w, http.StatusNotFound, "no cached result for %q", key)
 		return
@@ -243,15 +322,35 @@ func (s *Server) handleCacheGet(w http.ResponseWriter, r *http.Request) {
 // bytes. Like the rest of the API (sweep submission, cancellation,
 // worker registration — a registered worker's result posts are equally
 // unverified), this endpoint trusts its network: smtd is designed to run
-// inside a trusted cluster, not on the open internet.
+// inside a trusted cluster, not on the open internet. Peer-marked fills
+// land in the local tiers only (single-hop, as in handleCacheGet).
 func (s *Server) handleCachePut(w http.ResponseWriter, r *http.Request) {
 	var res smt.Results
-	if err := json.NewDecoder(r.Body).Decode(&res); err != nil {
-		writeError(w, http.StatusBadRequest, "invalid result body: %v", err)
+	if !decodeBody(w, r, &res, maxCachePutBody, "result") {
 		return
 	}
-	s.store.Put(r.PathValue("key"), res)
+	if r.Header.Get(cache.PeerHeader) != "" {
+		s.local.Put(r.PathValue("key"), res)
+	} else {
+		s.top.Put(r.PathValue("key"), res)
+	}
 	w.WriteHeader(http.StatusNoContent)
+}
+
+// decodeBody decodes a JSON body capped at limit bytes, answering 413 on
+// an oversized one and 400 on malformed JSON.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any, limit int64, what string) bool {
+	body := http.MaxBytesReader(w, r.Body, limit)
+	if err := json.NewDecoder(body).Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge, "%s body exceeds %d bytes", what, mbe.Limit)
+			return false
+		}
+		writeError(w, http.StatusBadRequest, "invalid %s body: %v", what, err)
+		return false
+	}
+	return true
 }
 
 // experimentInfo is one registry entry as the API lists it.
@@ -333,9 +432,14 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	// keeps absent fields at their default values.
 	o := exp.DefaultOpts()
 	req := sweepRequest{Opts: &o}
-	dec := json.NewDecoder(r.Body)
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSweepBody))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge, "sweep body exceeds %d bytes", mbe.Limit)
+			return
+		}
 		writeError(w, http.StatusBadRequest, "invalid request body: %v", err)
 		return
 	}
@@ -614,7 +718,7 @@ func (s *Server) statusLocked(sw *sweep) sweepStatus {
 		DoneJobs:       sw.doneJobs,
 		CacheHits:      sw.cacheHits,
 		Error:          sw.errMsg,
-		Cache:          s.store.Stats(),
+		Cache:          s.mem.Stats(),
 	}
 	if len(sw.running) > 0 {
 		st.Running = make([]jobProgress, 0, len(sw.running))
@@ -694,8 +798,26 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.status(sw))
 }
 
+// cacheStatus is the GET /v1/cache payload: the memory tier's counters
+// at the top level (the shape the endpoint always had), plus per-tier
+// blocks for the durable and federation layers when configured.
+type cacheStatus struct {
+	cache.Stats
+	Disk  *cache.DiskStats `json:"disk,omitempty"`
+	Peers *cache.PeerStats `json:"peers,omitempty"`
+}
+
 func (s *Server) handleCache(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.store.Stats())
+	st := cacheStatus{Stats: s.mem.Stats()}
+	if s.disk != nil {
+		ds := s.disk.Stats()
+		st.Disk = &ds
+	}
+	if s.fed != nil {
+		ps := s.fed.Stats()
+		st.Peers = &ps
+	}
+	writeJSON(w, http.StatusOK, st)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -1,0 +1,187 @@
+package cache
+
+import (
+	"hash/fnv"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// PeerHeader marks cache traffic that already crossed one federation hop.
+// A coordinator receiving a request bearing it answers from its local
+// tiers only — never re-forwarding to another peer — so lookups are
+// single-hop by construction and a misconfigured ring cannot loop.
+const PeerHeader = "X-Smtd-Peer"
+
+// PeerStats snapshots the federation tier's counters.
+type PeerStats struct {
+	Self       string   `json:"self"`
+	Members    []string `json:"members"`
+	PeerHits   int64    `json:"peer_hits"`   // local misses served by the key's owner
+	PeerMisses int64    `json:"peer_misses"` // owner probes that missed too
+	PeerFills  int64    `json:"peer_fills"`  // fills forwarded to the key's owner
+}
+
+// Federated shards a logical cache across a set of coordinator peers by
+// consistent-hashing keys over the member list: every member agrees which
+// node owns each key, owners accumulate the fills, and a local miss is
+// resolved with at most one peer probe — to the owner. Layered over a
+// node's local store (typically a Tiered memory+disk stack) it makes N
+// coordinators serve one logical cache: a sweep computed through any of
+// them is a 100% hit resubmitted through any other.
+//
+// Every member must be configured with the same member list (its own URL
+// included) or the rings disagree; the protocol still degrades safely —
+// a wrong owner probe is just a miss — but the one-logical-cache property
+// only holds when the rings match.
+//
+// Consistency needs no protocol: values are deterministic functions of
+// their content-addressed keys, so replicas cannot diverge and
+// last-write-wins is exact.
+type Federated[V any] struct {
+	local   Getter[V]
+	self    string
+	members []string // sorted, deduped, self included
+	ring    []ringPoint
+	peers   map[string]*Remote[V]
+
+	peerHits   atomic.Int64
+	peerMisses atomic.Int64
+	peerFills  atomic.Int64
+}
+
+type ringPoint struct {
+	hash   uint64
+	member string
+}
+
+// vnodes is how many ring points each member gets; enough that a few
+// members split the key space evenly, cheap enough that ring construction
+// and lookup stay trivial.
+const vnodes = 64
+
+// NewFederated builds the federation layer over local for this node
+// (self) and the full member list. Member URLs are normalized (trailing
+// slashes dropped) and deduped; self is added if absent. A nil client
+// gets a dedicated short-timeout one — peer probes sit on the sweep's
+// critical path only long enough to beat a re-simulation.
+func NewFederated[V any](local Getter[V], self string, members []string, client *http.Client) *Federated[V] {
+	if client == nil {
+		client = &http.Client{Timeout: 10 * time.Second}
+	}
+	self = strings.TrimRight(self, "/")
+	seen := map[string]bool{self: true}
+	all := []string{self}
+	for _, m := range members {
+		m = strings.TrimRight(strings.TrimSpace(m), "/")
+		if m == "" || seen[m] {
+			continue
+		}
+		seen[m] = true
+		all = append(all, m)
+	}
+	sort.Strings(all)
+	f := &Federated[V]{
+		local:   local,
+		self:    self,
+		members: all,
+		peers:   make(map[string]*Remote[V]),
+	}
+	for _, m := range all {
+		for i := 0; i < vnodes; i++ {
+			f.ring = append(f.ring, ringPoint{hash: hash64(m + "#" + strconv.Itoa(i)), member: m})
+		}
+		if m != self {
+			f.peers[m] = NewRemote[V](m, client).WithHeader(PeerHeader, "1")
+		}
+	}
+	sort.Slice(f.ring, func(i, j int) bool {
+		if f.ring[i].hash != f.ring[j].hash {
+			return f.ring[i].hash < f.ring[j].hash
+		}
+		return f.ring[i].member < f.ring[j].member
+	})
+	return f
+}
+
+// Owner returns the member that owns key on the ring. Every member with
+// the same member list computes the same owner for every key.
+func (f *Federated[V]) Owner(key string) string {
+	h := hash64(key)
+	i := sort.Search(len(f.ring), func(i int) bool { return f.ring[i].hash >= h })
+	if i == len(f.ring) {
+		i = 0
+	}
+	return f.ring[i].member
+}
+
+// Members returns the sorted member list (self included).
+func (f *Federated[V]) Members() []string { return f.members }
+
+// Get serves key from the local tiers, falling back to exactly one peer
+// probe — the key's owner — on a local miss. A peer hit is promoted into
+// the local tiers so repeats stay local.
+func (f *Federated[V]) Get(key string) (V, bool) {
+	if v, ok := f.local.Get(key); ok {
+		return v, true
+	}
+	owner := f.Owner(key)
+	peer, ok := f.peers[owner]
+	if !ok { // we are the owner; nobody else would have it
+		var zero V
+		return zero, false
+	}
+	v, hit := peer.Get(key)
+	if !hit {
+		f.peerMisses.Add(1)
+		var zero V
+		return zero, false
+	}
+	f.peerHits.Add(1)
+	f.local.Put(key, v)
+	return v, true
+}
+
+// Put writes through the local tiers and forwards the fill to the key's
+// owner when that is a peer, so the owner accumulates its shard of the
+// logical cache whichever coordinator computed the result. Forward
+// failures drop (the owner just misses later and asks us back).
+func (f *Federated[V]) Put(key string, v V) {
+	f.local.Put(key, v)
+	if peer, ok := f.peers[f.Owner(key)]; ok {
+		peer.Put(key, v)
+		f.peerFills.Add(1)
+	}
+}
+
+// Stats snapshots the federation counters.
+func (f *Federated[V]) Stats() PeerStats {
+	return PeerStats{
+		Self:       f.self,
+		Members:    f.members,
+		PeerHits:   f.peerHits.Load(),
+		PeerMisses: f.peerMisses.Load(),
+		PeerFills:  f.peerFills.Load(),
+	}
+}
+
+// hash64 is the ring's key and vnode hash: FNV-1a — stable across
+// processes and Go versions (unlike maphash), which the ring agreement
+// between separately booted coordinators depends on — pushed through a
+// splitmix64 finalizer, because raw FNV-1a barely avalanches a change in
+// a string's last bytes and sequential keys would otherwise cluster on
+// one member's arc.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

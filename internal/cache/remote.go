@@ -2,6 +2,7 @@ package cache
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -11,11 +12,12 @@ import (
 )
 
 // Remote is an HTTP client for another process's content-addressed store —
-// the worker's view of its coordinator's cache in a distributed sweep.
-// GET {base}/v1/cache/{key} peeks, PUT {base}/v1/cache/{key} fills; both
-// carry the value as JSON. It satisfies Getter[V], so anything that takes
-// a local store (the experiment runner's JobCache, a Flight wrapper) takes
-// a Remote unchanged.
+// the worker's view of its coordinator's cache in a distributed sweep, and
+// a coordinator's view of a federated peer's cache. GET
+// {base}/v1/cache/{key} peeks, PUT {base}/v1/cache/{key} fills; both carry
+// the value as JSON. It satisfies Getter[V], so anything that takes a
+// local store (the experiment runner's JobCache, a Flight wrapper) takes a
+// Remote unchanged.
 //
 // Failure degrades, never breaks: a network error or non-200 peek is a
 // miss, a failed fill is dropped. Determinism makes that safe — a missed
@@ -28,6 +30,7 @@ import (
 type Remote[V any] struct {
 	base   string
 	client *http.Client
+	header http.Header // extra headers on every request (e.g. peer marking)
 }
 
 // NewRemote builds a remote cache client against base (scheme://host:port,
@@ -40,6 +43,18 @@ func NewRemote[V any](base string, client *http.Client) *Remote[V] {
 	return &Remote[V]{base: strings.TrimRight(base, "/"), client: client}
 }
 
+// WithHeader returns the client with an extra header set on every request
+// it issues. Federation uses it to mark peer-originated traffic so the
+// receiving coordinator answers from its local tiers only (single-hop
+// loop protection).
+func (r *Remote[V]) WithHeader(key, value string) *Remote[V] {
+	if r.header == nil {
+		r.header = http.Header{}
+	}
+	r.header.Set(key, value)
+	return r
+}
+
 func (r *Remote[V]) keyURL(key string) string {
 	return r.base + "/v1/cache/" + url.PathEscape(key)
 }
@@ -47,38 +62,81 @@ func (r *Remote[V]) keyURL(key string) string {
 // Get peeks the remote store. Any failure — transport, status, decode —
 // reports a miss.
 func (r *Remote[V]) Get(key string) (V, bool) {
+	v, ok, _ := r.GetCtx(context.Background(), key)
+	return v, ok
+}
+
+// GetCtx is Get bounded by ctx, mirroring Flight.GetCtx's shape: a
+// caller that is shutting down abandons the peek immediately instead of
+// riding out the client's full timeout. The error is non-nil only for
+// ctx's own end — every remote failure is still just a miss.
+func (r *Remote[V]) GetCtx(ctx context.Context, key string) (V, bool, error) {
 	var zero V
-	resp, err := r.client.Get(r.keyURL(key))
+	if err := ctx.Err(); err != nil {
+		return zero, false, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.keyURL(key), nil)
 	if err != nil {
-		return zero, false
+		return zero, false, nil
+	}
+	r.decorate(req)
+	resp, err := r.client.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return zero, false, ctx.Err()
+		}
+		return zero, false, nil
 	}
 	defer drain(resp.Body)
 	if resp.StatusCode != http.StatusOK {
-		return zero, false
+		return zero, false, nil
 	}
 	var v V
 	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
-		return zero, false
+		if ctx.Err() != nil {
+			return zero, false, ctx.Err()
+		}
+		return zero, false, nil
 	}
-	return v, true
+	return v, true, nil
 }
 
 // Put fills the remote store; failures are dropped.
 func (r *Remote[V]) Put(key string, v V) {
+	r.PutCtx(context.Background(), key, v)
+}
+
+// PutCtx is Put bounded by ctx: a draining process drops the fill
+// instantly rather than blocking shutdown on cache traffic. Fills are an
+// optimization — losing one costs a future re-simulation, nothing else.
+func (r *Remote[V]) PutCtx(ctx context.Context, key string, v V) {
+	if ctx.Err() != nil {
+		return
+	}
 	body, err := json.Marshal(v)
 	if err != nil {
 		return
 	}
-	req, err := http.NewRequest(http.MethodPut, r.keyURL(key), bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, r.keyURL(key), bytes.NewReader(body))
 	if err != nil {
 		return
 	}
 	req.Header.Set("Content-Type", "application/json")
+	r.decorate(req)
 	resp, err := r.client.Do(req)
 	if err != nil {
 		return
 	}
 	drain(resp.Body)
+}
+
+// decorate applies the client's standing headers to one request.
+func (r *Remote[V]) decorate(req *http.Request) {
+	for k, vs := range r.header {
+		for _, v := range vs {
+			req.Header.Set(k, v)
+		}
+	}
 }
 
 // drain consumes and closes a response body so the transport can reuse

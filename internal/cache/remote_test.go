@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -147,5 +148,54 @@ func TestFlightGetCtxCancelledWaiter(t *testing.T) {
 	f.Put("k", result{IPC: 4})
 	if v, ok := f.Get("k"); !ok || v.IPC != 4 {
 		t.Fatalf("leader's Put lost: %+v ok=%v", v, ok)
+	}
+}
+
+// TestRemoteGetCtxCancelled: a draining caller's peek aborts on its
+// context immediately instead of riding out the client timeout, and a
+// cancelled fill is dropped without touching the wire.
+func TestRemoteGetCtxCancelled(t *testing.T) {
+	block := make(chan struct{})
+	var puts atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPut {
+			puts.Add(1)
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		<-block // hang GETs until test end
+	}))
+	t.Cleanup(func() { close(block); srv.Close() })
+
+	remote := NewRemote[result](srv.URL, &http.Client{Timeout: 30 * time.Second})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, ok, err := remote.GetCtx(ctx, "k")
+		if ok {
+			t.Error("hanging server produced a hit")
+		}
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the request park in the handler
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("GetCtx returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("GetCtx ignored its cancelled context (rode the client timeout)")
+	}
+
+	// A fill under a dead context is dropped before any network traffic.
+	remote.PutCtx(ctx, "k", result{IPC: 1})
+	if puts.Load() != 0 {
+		t.Fatalf("cancelled PutCtx reached the server %d times", puts.Load())
+	}
+	// A live context still fills.
+	remote.PutCtx(context.Background(), "k", result{IPC: 1})
+	if puts.Load() != 1 {
+		t.Fatalf("live PutCtx landed %d times, want 1", puts.Load())
 	}
 }

@@ -3,6 +3,7 @@ package dist
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sort"
@@ -11,6 +12,17 @@ import (
 
 	"repro/internal/exp"
 	"repro/smt"
+)
+
+// Per-endpoint request body caps. Control-plane messages (register, poll,
+// heartbeat) are tiny; snapshots are one interval's counters; result
+// batches carry full smt.Results per job and get room for a large batch —
+// but not an unbounded one, so a single request cannot balloon the
+// coordinator's heap.
+const (
+	maxControlBody  = 64 << 10 // register / poll
+	maxSnapshotBody = 1 << 20  // one interval snapshot
+	maxResultsBody  = 64 << 20 // a batched results post
 )
 
 // Options configures a Coordinator. The zero value works: sensible
@@ -104,6 +116,8 @@ type Coordinator struct {
 	localDone       int64
 	requeues        int64
 	remoteCacheHits int64
+	leases          int64         // assignments ever granted to workers
+	leaseWait       time.Duration // total pending-queue wait across granted leases
 }
 
 type workerState struct {
@@ -122,9 +136,10 @@ type task struct {
 	onSnap  func(smt.Snapshot)
 	ctx     context.Context // the dispatching sweep's context
 
-	attempts   int    // remote leases granted so far
-	assignedTo string // worker id; "" while pending
-	local      bool   // fell back to coordinator-local execution
+	attempts   int       // remote leases granted so far
+	assignedTo string    // worker id; "" while pending
+	local      bool      // fell back to coordinator-local execution
+	enqueued   time.Time // when the task last entered the pending queue
 	deadline   time.Time
 	done       bool
 	cancelled  bool
@@ -223,11 +238,12 @@ func (c *Coordinator) Dispatch(ctx context.Context, j exp.Job, o exp.Opts, inter
 	}
 	c.nextTask++
 	t := &task{
-		id:      fmt.Sprintf("t%d", c.nextTask),
-		payload: p,
-		onSnap:  onSnap,
-		ctx:     ctx,
-		result:  make(chan smt.Results, 1),
+		id:       fmt.Sprintf("t%d", c.nextTask),
+		payload:  p,
+		onSnap:   onSnap,
+		ctx:      ctx,
+		enqueued: time.Now(),
+		result:   make(chan smt.Results, 1),
 	}
 	c.tasks[t.id] = t
 	c.pending = append(c.pending, t)
@@ -281,19 +297,40 @@ func (c *Coordinator) Stats() Status {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	st := Status{
-		Workers:         make([]WorkerInfo, 0, len(c.workers)),
-		Capacity:        c.capacityLocked(),
-		Pending:         c.pendingLocked(),
-		Dispatched:      c.dispatched,
-		RemoteDone:      c.remoteDone,
-		LocalDone:       c.localDone,
-		Requeues:        c.requeues,
-		RemoteCacheHits: c.remoteCacheHits,
+		Workers:               make([]WorkerInfo, 0, len(c.workers)),
+		Capacity:              c.capacityLocked(),
+		Pending:               c.pendingLocked(),
+		Dispatched:            c.dispatched,
+		RemoteDone:            c.remoteDone,
+		LocalDone:             c.localDone,
+		Requeues:              c.requeues,
+		RemoteCacheHits:       c.remoteCacheHits,
+		Leases:                c.leases,
+		LeaseWaitSecondsTotal: c.leaseWait.Seconds(),
 	}
 	for _, t := range c.tasks {
 		if t.assignedTo != "" && !t.done && !t.cancelled {
 			st.Assigned++
 		}
+	}
+	// The autoscale signal: queued work measured against what the fleet
+	// can absorb, in units the deployment layer acts on (slots to add).
+	free := st.Capacity - st.Assigned
+	if free < 0 {
+		free = 0
+	}
+	wanted := st.Pending - free
+	if wanted < 0 {
+		wanted = 0
+	}
+	st.Autoscale = Autoscale{
+		QueuedJobs:  st.Pending,
+		Capacity:    st.Capacity,
+		FreeSlots:   free,
+		WantedSlots: wanted,
+	}
+	if st.Capacity > 0 {
+		st.Autoscale.Saturation = float64(st.Assigned+st.Pending) / float64(st.Capacity)
 	}
 	for _, w := range c.workers {
 		st.Workers = append(st.Workers, WorkerInfo{
@@ -439,6 +476,7 @@ func (c *Coordinator) requeueLocked(t *task) {
 		go c.runLocalTask(t)
 		return
 	}
+	t.enqueued = time.Now()
 	c.pending = append([]*task{t}, c.pending...)
 	c.wakeLocked()
 }
@@ -488,7 +526,7 @@ func (c *Coordinator) expire(now time.Time) {
 
 func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
 	var req RegisterRequest
-	if !decodeInto(w, r, &req) {
+	if !decodeInto(w, r, &req, maxControlBody) {
 		return
 	}
 	if req.Slots <= 0 {
@@ -574,7 +612,7 @@ func (c *Coordinator) handleWorkers(w http.ResponseWriter, r *http.Request) {
 // once per batch, not once per job.
 func (c *Coordinator) handlePoll(w http.ResponseWriter, r *http.Request) {
 	var req PollRequest
-	if !decodeInto(w, r, &req) {
+	if !decodeInto(w, r, &req, maxControlBody) {
 		return
 	}
 	max := req.Max
@@ -601,6 +639,8 @@ func (c *Coordinator) handlePoll(w http.ResponseWriter, r *http.Request) {
 			t.assignedTo = ws.id
 			t.attempts++
 			t.deadline = now.Add(c.opts.LeaseTTL)
+			c.leases++
+			c.leaseWait += now.Sub(t.enqueued)
 			ws.running[t.id] = t
 			batch.Assignments = append(batch.Assignments, Assignment{TaskID: t.id, Job: t.payload})
 		}
@@ -642,7 +682,7 @@ func (c *Coordinator) handlePoll(w http.ResponseWriter, r *http.Request) {
 // per dispatch is guaranteed by deliver.
 func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 	var req ResultsRequest
-	if !decodeInto(w, r, &req) {
+	if !decodeInto(w, r, &req, maxResultsBody) {
 		return
 	}
 	now := time.Now()
@@ -675,7 +715,7 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 // that is still simulating cannot interleave with its replacement.
 func (c *Coordinator) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	var req SnapshotRequest
-	if !decodeInto(w, r, &req) {
+	if !decodeInto(w, r, &req, maxSnapshotBody) {
 		return
 	}
 	now := time.Now()
@@ -695,8 +735,18 @@ func (c *Coordinator) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	httpJSON(w, http.StatusOK, map[string]bool{"ok": true})
 }
 
-func decodeInto(w http.ResponseWriter, r *http.Request, v any) bool {
-	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+// decodeInto decodes a JSON body capped at limit bytes. An over-limit
+// body answers 413 rather than 400 so clients can tell "shrink your
+// batch" apart from "your JSON is malformed" — a worker posting a large
+// result batch should split it, not drop it.
+func decodeInto(w http.ResponseWriter, r *http.Request, v any, limit int64) bool {
+	body := http.MaxBytesReader(w, r.Body, limit)
+	if err := json.NewDecoder(body).Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			httpError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", mbe.Limit)
+			return false
+		}
 		httpError(w, http.StatusBadRequest, "invalid body: %v", err)
 		return false
 	}

@@ -187,4 +187,29 @@ type Status struct {
 	LocalDone       int64        `json:"local_done"`        // completed by coordinator fallback
 	Requeues        int64        `json:"requeues"`          // lease expiries / worker deaths
 	RemoteCacheHits int64        `json:"remote_cache_hits"` // worker results served from coordinator cache
+
+	// Lease latency: total time granted leases spent in the pending queue.
+	// mean wait = LeaseWaitSecondsTotal / Leases; a rising mean with idle
+	// capacity means the fleet is leasing too slowly, a rising mean at full
+	// capacity means the fleet is too small.
+	Leases                int64   `json:"leases"`
+	LeaseWaitSecondsTotal float64 `json:"lease_wait_seconds_total"`
+
+	// Autoscale is the queued-jobs-vs-capacity signal a deployment layer
+	// watches to size the worker fleet.
+	Autoscale Autoscale `json:"autoscale"`
+}
+
+// Autoscale compares the backlog against fleet capacity in units a
+// deployment layer can act on directly: WantedSlots is how many more
+// simulation slots would drain the queue right now (scale up when it
+// stays positive), and Saturation is (assigned+pending)/capacity — below
+// 1.0 with WantedSlots 0 for a sustained period means the fleet can
+// shrink.
+type Autoscale struct {
+	QueuedJobs  int     `json:"queued_jobs"`  // pending, unassigned
+	Capacity    int     `json:"capacity"`     // total fleet slots
+	FreeSlots   int     `json:"free_slots"`   // capacity minus leased jobs
+	WantedSlots int     `json:"wanted_slots"` // max(0, queued - free): slots to add to drain the queue
+	Saturation  float64 `json:"saturation"`   // (assigned+queued)/capacity; 0 when capacity is 0
 }

@@ -23,6 +23,16 @@ import (
 // it, as does any local store.
 type ResultCache = cache.Getter[smt.Results]
 
+// ctxResultCache is the context-aware upgrade a ResultCache may offer
+// (cache.Remote does). The worker prefers it so a drain isn't held
+// hostage by cache traffic: a SIGTERM'd worker's peeks and fills abort
+// with the run context instead of riding out the HTTP client timeout,
+// and the job simply simulates — drain semantics unchanged, just faster.
+type ctxResultCache interface {
+	GetCtx(ctx context.Context, key string) (smt.Results, bool, error)
+	PutCtx(ctx context.Context, key string, v smt.Results)
+}
+
 // WorkerOptions configures a Worker.
 type WorkerOptions struct {
 	// Coordinator is the coordinator's base URL (http://host:port).
@@ -353,7 +363,7 @@ func (w *Worker) dispatchLoop(ctx context.Context, wg *sync.WaitGroup) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			w.execute(asg)
+			w.execute(ctx, asg)
 			slots <- struct{}{}
 		}()
 	}
@@ -368,7 +378,7 @@ func (w *Worker) dispatchLoop(ctx context.Context, wg *sync.WaitGroup) {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				w.execute(asg)
+				w.execute(ctx, asg)
 			}()
 		}
 		queue = nil
@@ -485,9 +495,13 @@ func (w *Worker) poll(ctx context.Context, id string, max int) (Batch, int, erro
 
 // execute runs one assignment: peek the shared cache, simulate on a
 // miss, stream snapshots when asked, fill the cache, hand the result to
-// the reporter. It deliberately ignores the run context — a job accepted
-// before shutdown is finished and delivered (drain semantics).
-func (w *Worker) execute(asg Assignment) {
+// the reporter. The simulation itself deliberately ignores the run
+// context — a job accepted before shutdown is finished and delivered
+// (drain semantics) — but cache traffic rides it: a drain's peek or fill
+// against a slow coordinator aborts immediately (a miss, then a local
+// simulation) instead of wedging the shutdown behind the HTTP client
+// timeout.
+func (w *Worker) execute(ctx context.Context, asg Assignment) {
 	p := asg.Job
 	w.mu.Lock()
 	c := w.cache
@@ -498,8 +512,16 @@ func (w *Worker) execute(asg Assignment) {
 		// such job onto one entry.
 		c = nil
 	}
+	cc, _ := c.(ctxResultCache)
 	if c != nil {
-		if res, ok := c.Get(p.Key); ok {
+		var res smt.Results
+		var ok bool
+		if cc != nil {
+			res, ok, _ = cc.GetCtx(ctx, p.Key) // ctx end reads as a miss
+		} else {
+			res, ok = c.Get(p.Key)
+		}
+		if ok {
 			w.results <- TaskResult{TaskID: asg.TaskID, Key: p.Key, FromCache: true, Results: res}
 			return
 		}
@@ -513,7 +535,11 @@ func (w *Worker) execute(asg Assignment) {
 		// Fill even though the result post also lands in the coordinator's
 		// cache: if our lease expired mid-run the post is discarded, but
 		// the fill still saves the re-simulation's successor a full run.
-		c.Put(p.Key, res)
+		if cc != nil {
+			cc.PutCtx(ctx, p.Key, res)
+		} else {
+			c.Put(p.Key, res)
+		}
 	}
 	w.results <- TaskResult{TaskID: asg.TaskID, Key: p.Key, Results: res}
 }
