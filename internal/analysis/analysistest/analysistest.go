@@ -1,0 +1,131 @@
+// Package analysistest runs an analyzer over a fixture module and checks
+// its findings against `// want` comments, mirroring the contract of
+// golang.org/x/tools/go/analysis/analysistest: a line expecting a finding
+// carries a comment of the form
+//
+//	// want `regexp`
+//
+// (backquoted or double-quoted). Every diagnostic must match a want on its
+// line, and every want must be matched by a diagnostic — both directions
+// fail the test, so fixtures prove an analyzer fires AND stays quiet.
+package analysistest
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/load"
+)
+
+// wantRe extracts the expectation pattern from a comment. The pattern is a
+// single backquoted or quoted regexp after the word "want".
+var wantRe = regexp.MustCompile("//\\s*want\\s+(`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\")")
+
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads the fixture module rooted at dir and runs each analyzer over
+// it, comparing diagnostics against the fixture's want comments.
+func Run(t *testing.T, dir string, analyzers ...*analysis.Analyzer) []analysis.Diagnostic {
+	t.Helper()
+	prog, err := load.Packages(dir, "./...")
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	diags, err := analysis.Run(prog, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers on %s: %v", dir, err)
+	}
+
+	wants := collectWants(t, prog)
+	for _, d := range diags {
+		pos := prog.Fset.Position(d.Pos)
+		if w := matchWant(wants, pos.Filename, pos.Line, d.Message); w == nil {
+			t.Errorf("%s: unexpected diagnostic: [%s] %s", pos, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %s", w.file, w.line, w.raw)
+		}
+	}
+	return diags
+}
+
+func collectWants(t *testing.T, prog *analysis.Program) []*want {
+	t.Helper()
+	var wants []*want
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					wants = append(wants, parseWants(t, prog.Fset, c)...)
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func parseWants(t *testing.T, fset *token.FileSet, c *ast.Comment) []*want {
+	t.Helper()
+	m := wantRe.FindStringSubmatch(c.Text)
+	if m == nil {
+		if strings.Contains(c.Text, "want ") && strings.Contains(c.Text, "`") {
+			t.Errorf("%s: malformed want comment: %s", fset.Position(c.Pos()), c.Text)
+		}
+		return nil
+	}
+	raw := m[1]
+	var pattern string
+	if strings.HasPrefix(raw, "`") {
+		pattern = strings.Trim(raw, "`")
+	} else {
+		var err error
+		pattern, err = strconv.Unquote(raw)
+		if err != nil {
+			t.Errorf("%s: bad want string: %v", fset.Position(c.Pos()), err)
+			return nil
+		}
+	}
+	re, err := regexp.Compile(pattern)
+	if err != nil {
+		t.Errorf("%s: bad want regexp: %v", fset.Position(c.Pos()), err)
+		return nil
+	}
+	pos := fset.Position(c.Pos())
+	return []*want{{file: pos.Filename, line: pos.Line, re: re, raw: raw}}
+}
+
+func matchWant(wants []*want, file string, line int, msg string) *want {
+	for _, w := range wants {
+		if w.file == file && w.line == line && !w.matched && w.re.MatchString(msg) {
+			w.matched = true
+			return w
+		}
+	}
+	// A second diagnostic on a line may share an already-matched want.
+	for _, w := range wants {
+		if w.file == file && w.line == line && w.re.MatchString(msg) {
+			return w
+		}
+	}
+	return nil
+}
+
+// Fixture returns the conventional fixture path for an analyzer package:
+// testdata/src relative to the caller's package directory.
+func Fixture(t *testing.T) string {
+	t.Helper()
+	return "testdata/src"
+}

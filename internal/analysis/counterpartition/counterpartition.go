@@ -1,0 +1,343 @@
+// Package counterpartition enforces the counter-accounting contract
+// between core.Stats and the exported smt.Results set.
+//
+// Every field added to core.Stats must be:
+//
+//  1. subtractable by the reflective Stats.Sub walk — a numeric kind or a
+//     slice of signed integers; anything else panics at the first interval
+//     delta, so it is rejected at compile review instead;
+//  2. reachable from the smt package's Results derivation — either read
+//     directly by smt, or read by a core.Stats method smt calls — OR
+//     declared in core.DiagnosticOnlyCounters, the explicit list of
+//     counters that exist for debugging and deliberately do not surface in
+//     Results (adding them there would change the frozen Results schema and
+//     every golden fingerprint);
+//  3. consistent with the partition-invariant table
+//     core.CounterPartitions: every Whole and Part name in the table must
+//     be a real Stats field, so the runtime sum invariants can never drift
+//     into checking counters that were renamed or removed.
+//
+// The analyzer needs both internal/core and smt loaded, so it only runs in
+// whole-program mode.
+package counterpartition
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the counter-partition checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "counterpartition",
+	Doc: "every core.Stats counter must be subtractable, mapped into " +
+		"smt.Results or declared diagnostic-only, and partition tables " +
+		"must name real fields",
+	Run:          run,
+	WholeProgram: true,
+}
+
+func run(pass *analysis.Pass) error {
+	// Report once, from the core package's pass.
+	if !isPkg(pass.Pkg.RelPath, "internal/core") {
+		return nil
+	}
+	corePkg := pass.Pkg
+	var smtPkg *analysis.Package
+	for _, p := range pass.Prog.Packages {
+		if isPkg(p.RelPath, "smt") {
+			smtPkg = p
+			break
+		}
+	}
+	if smtPkg == nil {
+		return nil // partial load (vet mode never gets here: WholeProgram)
+	}
+
+	statsObj, _ := corePkg.Types.Scope().Lookup("Stats").(*types.TypeName)
+	if statsObj == nil {
+		return nil
+	}
+	st, ok := statsObj.Type().Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+
+	fieldPos := fieldPositions(corePkg, "Stats")
+	fields := map[string]bool{}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		fields[f.Name()] = true
+		if !subtractable(f.Type()) {
+			pass.Reportf(posOf(fieldPos, f, statsObj), "Stats field %s has type %s, which the reflective Stats.Sub walk cannot subtract (numeric or []int64-style kinds only)", f.Name(), f.Type())
+		}
+	}
+
+	mapped := mappedFields(pass.Prog.Fset, corePkg, smtPkg, statsObj)
+	declared, declPos := stringListVar(corePkg, "DiagnosticOnlyCounters")
+	if declared == nil {
+		pass.Reportf(statsObj.Pos(), "internal/core must declare DiagnosticOnlyCounters listing the Stats counters that intentionally do not surface in smt.Results")
+	}
+
+	var names []string
+	for name := range fields {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if mapped[name] || declared[name] {
+			continue
+		}
+		pass.Reportf(posOf(fieldPos, st.Field(fieldIndex(st, name)), statsObj), "Stats counter %s is not reachable from smt.Results and not declared in DiagnosticOnlyCounters: map it or declare it", name)
+	}
+	for _, name := range sortedKeys(declared) {
+		switch {
+		case !fields[name]:
+			pass.Reportf(declPos[name], "DiagnosticOnlyCounters names %s, which is not a Stats field", name)
+		case mapped[name]:
+			pass.Reportf(declPos[name], "DiagnosticOnlyCounters names %s, but smt.Results already reaches it: remove the stale entry", name)
+		}
+	}
+
+	checkPartitionTable(pass, corePkg, fields)
+	return nil
+}
+
+// isPkg matches a module-relative package path, tolerating the suffix form
+// vet mode produces.
+func isPkg(rel, want string) bool {
+	return rel == want || strings.HasSuffix(rel, "/"+want)
+}
+
+func fieldIndex(st *types.Struct, name string) int {
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Name() == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// fieldPositions maps the named struct's field names to their declaration
+// positions in the AST (types positions survive too, but the AST is
+// already loaded and this keeps fixtures honest).
+func fieldPositions(pkg *analysis.Package, typeName string) map[string]token.Pos {
+	out := map[string]token.Pos{}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok || ts.Name.Name != typeName {
+				return true
+			}
+			if s, ok := ts.Type.(*ast.StructType); ok {
+				for _, fld := range s.Fields.List {
+					for _, name := range fld.Names {
+						out[name.Name] = name.Pos()
+					}
+				}
+			}
+			return false
+		})
+	}
+	return out
+}
+
+func posOf(fieldPos map[string]token.Pos, f *types.Var, fallback types.Object) token.Pos {
+	if f == nil {
+		return fallback.Pos()
+	}
+	if p, ok := fieldPos[f.Name()]; ok {
+		return p
+	}
+	return f.Pos()
+}
+
+// subtractable mirrors the kind switch in Stats.Sub.
+func subtractable(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Info()&(types.IsInteger|types.IsFloat) != 0
+	case *types.Slice:
+		eb, ok := u.Elem().Underlying().(*types.Basic)
+		// The slice arm uses reflect's Int()/SetInt(): signed elems only.
+		return ok && eb.Info()&types.IsInteger != 0 && eb.Info()&types.IsUnsigned == 0
+	}
+	return false
+}
+
+// mappedFields computes the Stats fields reachable from the smt package's
+// Results derivation: selectors on core.Stats values in smt itself, plus
+// the fields read by every core.Stats method smt calls.
+func mappedFields(fset *token.FileSet, corePkg, smtPkg *analysis.Package, statsObj *types.TypeName) map[string]bool {
+	mapped := map[string]bool{}
+	calledMethods := map[string]bool{}
+
+	for _, f := range smtPkg.Files {
+		if analysis.IsTestFile(fset, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			tv, ok := smtPkg.Info.Types[sel.X]
+			if !ok || !isStatsType(tv.Type, statsObj) {
+				return true
+			}
+			switch smtPkg.Info.Uses[sel.Sel].(type) {
+			case *types.Var: // field read
+				mapped[sel.Sel.Name] = true
+			case *types.Func: // method call: resolve its field reads below
+				calledMethods[sel.Sel.Name] = true
+			}
+			return true
+		})
+	}
+
+	// Fields each called Stats method reads from its receiver.
+	for _, f := range corePkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil || !calledMethods[fd.Name.Name] {
+				continue
+			}
+			fn, ok := corePkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			recv := fn.Type().(*types.Signature).Recv()
+			if recv == nil || !isStatsType(recv.Type(), statsObj) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				if tv, ok := corePkg.Info.Types[sel.X]; ok && isStatsType(tv.Type, statsObj) {
+					if _, isVar := corePkg.Info.Uses[sel.Sel].(*types.Var); isVar {
+						mapped[sel.Sel.Name] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	return mapped
+}
+
+func isStatsType(t types.Type, statsObj *types.TypeName) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj() == statsObj
+}
+
+// stringListVar evaluates a package-level []string composite literal,
+// returning the set and each entry's position; nil if the var is absent.
+func stringListVar(pkg *analysis.Package, name string) (map[string]bool, map[string]token.Pos) {
+	lit := compositeLitOf(pkg, name)
+	if lit == nil {
+		return nil, nil
+	}
+	set := map[string]bool{}
+	pos := map[string]token.Pos{}
+	for _, el := range lit.Elts {
+		if s, ok := stringConst(pkg, el); ok {
+			set[s] = true
+			pos[s] = el.Pos()
+		}
+	}
+	return set, pos
+}
+
+func compositeLitOf(pkg *analysis.Package, name string) *ast.CompositeLit {
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, id := range vs.Names {
+					if id.Name == name && i < len(vs.Values) {
+						if lit, ok := ast.Unparen(vs.Values[i]).(*ast.CompositeLit); ok {
+							return lit
+						}
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func stringConst(pkg *analysis.Package, e ast.Expr) (string, bool) {
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// checkPartitionTable validates that every Whole and Part name in
+// core.CounterPartitions is a real Stats field.
+func checkPartitionTable(pass *analysis.Pass, corePkg *analysis.Package, fields map[string]bool) {
+	lit := compositeLitOf(corePkg, "CounterPartitions")
+	if lit == nil {
+		pass.Reportf(corePkg.Types.Scope().Lookup("Stats").Pos(), "internal/core must declare CounterPartitions, the whole-equals-sum-of-parts table the runtime invariants check")
+		return
+	}
+	for _, el := range lit.Elts {
+		entry, ok := ast.Unparen(el).(*ast.CompositeLit)
+		if !ok {
+			continue
+		}
+		for _, kv := range entry.Elts {
+			pair, ok := kv.(*ast.KeyValueExpr)
+			if !ok {
+				continue
+			}
+			key, _ := pair.Key.(*ast.Ident)
+			if key == nil {
+				continue
+			}
+			switch key.Name {
+			case "Whole":
+				if s, ok := stringConst(corePkg, pair.Value); ok && !fields[s] {
+					pass.Reportf(pair.Value.Pos(), "CounterPartitions whole %q is not a Stats field", s)
+				}
+			case "Parts":
+				parts, ok := ast.Unparen(pair.Value).(*ast.CompositeLit)
+				if !ok {
+					continue
+				}
+				for _, p := range parts.Elts {
+					if s, ok := stringConst(corePkg, p); ok && !fields[s] {
+						pass.Reportf(p.Pos(), "CounterPartitions part %q is not a Stats field", s)
+					}
+				}
+			}
+		}
+	}
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,15 @@
+package counterpartition_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/counterpartition"
+)
+
+// TestCounterPartition checks the analyzer against its fixture module:
+// unmapped, unsubtractable, stale, and misspelled counters must all fire,
+// and correctly mapped or declared counters must not.
+func TestCounterPartition(t *testing.T) {
+	analysistest.Run(t, "testdata/src", counterpartition.Analyzer)
+}

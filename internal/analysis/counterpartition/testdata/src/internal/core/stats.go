@@ -1,0 +1,46 @@
+// Package core is the counterpartition fixture: a toy Stats block with one
+// counter of every compliance class — mapped directly, mapped through a
+// method, declared diagnostic-only, orphaned, and unsubtractable — plus a
+// partition table with both valid and stale names.
+package core
+
+// Stats is the toy counter block.
+type Stats struct {
+	Cycles    int64
+	Committed int64
+	Fetched   int64
+	Stalls    int64
+	Orphan    int64  // want `Stats counter Orphan is not reachable from smt.Results`
+	Label     string // want `cannot subtract`
+	PerThread []int64
+}
+
+// IPC is the derived rate smt calls; it maps Fetched via the method path.
+func (s *Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Fetched) / float64(s.Cycles)
+}
+
+// CounterPartition declares whole = sum of parts for the runtime invariants.
+type CounterPartition struct {
+	Whole string
+	Parts []string
+}
+
+// CounterPartitions is the invariant table the analyzer cross-checks.
+var CounterPartitions = []CounterPartition{
+	{Whole: "Cycles", Parts: []string{"Fetched", "Stalls"}},
+	{Whole: "Missing", Parts: []string{"Committed"}}, // want `whole "Missing" is not a Stats field`
+	{Whole: "Committed", Parts: []string{"Phantom"}}, // want `part "Phantom" is not a Stats field`
+}
+
+// DiagnosticOnlyCounters lists counters that deliberately stay out of
+// Results; Label is here because strings never surface in Results either.
+var DiagnosticOnlyCounters = []string{
+	"Stalls",
+	"Label",
+	"Committed", // want `smt.Results already reaches it`
+	"Ghost",     // want `not a Stats field`
+}

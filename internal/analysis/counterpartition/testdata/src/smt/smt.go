@@ -1,0 +1,23 @@
+// Package smt derives the toy exported results from core.Stats.
+package smt
+
+import "fixture/internal/core"
+
+// Results is the exported set.
+type Results struct {
+	Cycles    int64
+	Committed int64
+	IPC       float64
+	PerThread []int64
+}
+
+// Derive maps counters to results: Cycles, Committed, and PerThread are
+// read directly; Fetched is reached through the IPC method.
+func Derive(st core.Stats) Results {
+	return Results{
+		Cycles:    st.Cycles,
+		Committed: st.Committed,
+		IPC:       st.IPC(),
+		PerThread: st.PerThread,
+	}
+}

@@ -1,0 +1,14 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/determinism"
+)
+
+// TestDeterminism checks the analyzer against its fixture module: every
+// want comment must fire and nothing else may.
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, "testdata/src", determinism.Analyzer)
+}

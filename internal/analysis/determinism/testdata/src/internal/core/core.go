@@ -1,0 +1,76 @@
+// Package core stands in for a result-affecting package: the determinism
+// analyzer must flag unordered iteration, wall-clock reads, math/rand, and
+// non-stable sorts here, and accept the justified or idiomatic forms.
+package core
+
+import (
+	"math/rand" // want `import of math/rand in result-affecting package`
+	"sort"
+	"time"
+)
+
+// Counters is a toy result set.
+type Counters map[string]int64
+
+// SumUnordered folds map values in iteration order with no justification.
+func SumUnordered(c Counters) int64 {
+	var total int64
+	for _, v := range c { // want `iteration over unordered map`
+		total += v
+	}
+	return total
+}
+
+// SumJustified is the same fold with its justification on record.
+func SumJustified(c Counters) int64 {
+	var total int64
+	//smt:sorted int64 addition is commutative; order cannot reach results
+	for _, v := range c {
+		total += v
+	}
+	return total
+}
+
+// SumBare carries a marker with no reason, which is itself a finding.
+func SumBare(c Counters) int64 {
+	var total int64
+	//smt:sorted
+	for _, v := range c { // want `needs a justification`
+		total += v
+	}
+	return total
+}
+
+// Keys collects then sorts: deterministic by construction, no finding.
+func Keys(c Counters) []string {
+	keys := make([]string, 0, len(c))
+	for k := range c {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Stamp reads the wall clock.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want `time.Now in result-affecting package`
+}
+
+// Jitter draws from the global generator; the import line carries the finding.
+func Jitter() int64 { return rand.Int63() }
+
+// OrderUnstable uses a non-stable sort on result-affecting data.
+func OrderUnstable(xs []int64) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] }) // want `non-stable sort.Slice`
+}
+
+// OrderStable uses the stable variant, which is always fine.
+func OrderStable(xs []int64) {
+	sort.SliceStable(xs, func(i, j int) bool { return xs[i] < xs[j] })
+}
+
+// OrderJustified documents why the comparison is a total order.
+func OrderJustified(xs []int64) {
+	//smt:sorted strict total order: keys are distinct by construction
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+}

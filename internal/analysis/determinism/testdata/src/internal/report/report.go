@@ -1,0 +1,17 @@
+// Package report is outside the result-affecting set; the determinism
+// analyzer must stay quiet here no matter what the code does.
+package report
+
+import "time"
+
+// Now is allowed: reporting may read the wall clock.
+func Now() int64 { return time.Now().Unix() }
+
+// Merge folds a map in iteration order; out of scope, no finding.
+func Merge(m map[string]int) int {
+	t := 0
+	for _, v := range m {
+		t += v
+	}
+	return t
+}

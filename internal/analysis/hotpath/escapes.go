@@ -1,0 +1,142 @@
+package hotpath
+
+import (
+	"bytes"
+	"fmt"
+	"go/token"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// escapeLine matches one compiler diagnostic: "file.go:line:col: message".
+var escapeLine = regexp.MustCompile(`^(.*\.go):(\d+):(\d+): (.*)$`)
+
+// Escapes runs the compiler's escape analysis (`go build -gcflags=-m`) over
+// the module and reports every value that escapes to the heap inside the
+// body of a hot-path function, unless the line carries an `//smt:alloc`
+// justification or sits inside a panic argument. This closes the gap the
+// syntactic checks cannot see — escapes decided by inlining, pointer flow,
+// or interface dispatch — using the compiler's own verdict.
+//
+// The build output replays from the build cache on warm runs, so repeated
+// invocations are cheap and need no -a rebuild.
+func Escapes(prog *analysis.Program, patterns []string) ([]analysis.Diagnostic, error) {
+	funcs := collect(prog)
+	hotSet(prog, funcs)
+
+	// Index hot function bodies and panic-argument lines by absolute file.
+	type span struct {
+		fi         *funcInfo
+		start, end int
+	}
+	spans := map[string][]span{}
+	panicLines := map[string]map[int]bool{}
+	for _, fi := range sortedFuncs(funcs) {
+		if !fi.hot {
+			continue
+		}
+		pos := prog.Fset.Position(fi.decl.Pos())
+		end := prog.Fset.Position(fi.decl.End())
+		spans[pos.Filename] = append(spans[pos.Filename], span{fi, pos.Line, end.Line})
+		for _, r := range panicArgRanges(fi.pkg.Info, fi.decl.Body) {
+			lines := panicLines[pos.Filename]
+			if lines == nil {
+				lines = map[int]bool{}
+				panicLines[pos.Filename] = lines
+			}
+			for l := prog.Fset.Position(r[0]).Line; l <= prog.Fset.Position(r[1]).Line; l++ {
+				lines[l] = true
+			}
+		}
+	}
+	if len(spans) == 0 {
+		return nil, nil
+	}
+
+	modPath := modulePath(prog)
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"build", "-gcflags=" + modPath + "/...=-m"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = prog.Dir
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out // -m diagnostics arrive on stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("escapes: go build -gcflags=-m: %v\n%s", err, out.String())
+	}
+
+	var diags []analysis.Diagnostic
+	seen := map[string]bool{}
+	for _, line := range strings.Split(out.String(), "\n") {
+		m := escapeLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		msg := m[4]
+		if !strings.Contains(msg, "escapes to heap") && !strings.Contains(msg, "moved to heap") {
+			continue
+		}
+		file := m[1]
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(prog.Dir, file)
+		}
+		lineNo, _ := strconv.Atoi(m[2])
+
+		var hit *funcInfo
+		for _, s := range spans[file] {
+			if s.start <= lineNo && lineNo <= s.end {
+				hit = s.fi
+				break
+			}
+		}
+		if hit == nil {
+			continue
+		}
+		if panicLines[file][lineNo] {
+			continue
+		}
+		if _, ok := hit.ann.AtLine(lineNo, "alloc"); ok {
+			continue
+		}
+		key := fmt.Sprintf("%s:%d:%s", file, lineNo, msg)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+
+		tf := prog.Fset.File(hit.decl.Pos())
+		var pos token.Pos
+		if tf != nil && lineNo <= tf.LineCount() {
+			pos = tf.LineStart(lineNo)
+		} else {
+			pos = hit.decl.Pos()
+		}
+		diags = append(diags, analysis.Diagnostic{
+			Analyzer: "hotpath",
+			Pos:      pos,
+			Message:  fmt.Sprintf("heap escape in hot-path function %s: %s (justify with //smt:alloc or restructure)", hit.fn.Name(), msg),
+		})
+	}
+	analysis.SortDiagnostics(prog.Fset, diags)
+	return diags, nil
+}
+
+// modulePath recovers the module import path from any loaded package.
+func modulePath(prog *analysis.Program) string {
+	for _, pkg := range prog.Packages {
+		if pkg.RelPath == "." {
+			return pkg.PkgPath
+		}
+		if strings.HasSuffix(pkg.PkgPath, "/"+pkg.RelPath) {
+			return strings.TrimSuffix(pkg.PkgPath, "/"+pkg.RelPath)
+		}
+	}
+	return "."
+}

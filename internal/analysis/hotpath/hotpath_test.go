@@ -1,0 +1,50 @@
+package hotpath_test
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/hotpath"
+	"repro/internal/analysis/load"
+)
+
+// TestHotpath checks the syntactic allocation checks against the fixture:
+// every want comment must fire, and unreached/justified/cold code must not.
+func TestHotpath(t *testing.T) {
+	analysistest.Run(t, "testdata/src", hotpath.Analyzer)
+}
+
+// TestEscapes runs the compiler-backed escape check over the fixture and
+// verifies both directions: the unjustified escape in leak is reported,
+// and the //smt:alloc-justified escape in pin is not.
+func TestEscapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("escapes mode shells out to go build")
+	}
+	prog, err := load.Packages("testdata/src", "./...")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	diags, err := hotpath.Escapes(prog, nil)
+	if err != nil {
+		t.Fatalf("escapes: %v", err)
+	}
+	leakRe := regexp.MustCompile(`heap escape in hot-path function leak`)
+	found := false
+	for _, d := range diags {
+		if leakRe.MatchString(d.Message) {
+			found = true
+		}
+		if strings.Contains(d.Message, "function pin") {
+			t.Errorf("escape in pin should be justified by //smt:alloc: %s", d.Message)
+		}
+	}
+	if !found {
+		t.Errorf("no escape diagnostic for leak; got %d diagnostics", len(diags))
+		for _, d := range diags {
+			t.Logf("  %s: %s", prog.Fset.Position(d.Pos), d.Message)
+		}
+	}
+}

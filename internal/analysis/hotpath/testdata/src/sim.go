@@ -1,0 +1,142 @@
+// Package sim is the hotpath fixture: Step is the annotated steady-state
+// root, and the analyzer must flag allocating constructs in everything
+// Step transitively reaches — including the Selector implementation found
+// by class-hierarchy analysis — while ignoring unreached code, coldpath
+// cuts, justified lines, and panic arguments.
+package sim
+
+import "fmt"
+
+// escapeSink keeps addresses alive so the compiler's escape analysis has
+// something real to report in -escapes mode.
+var escapeSink *int
+
+// Selector picks the next index; Step dispatches through it.
+type Selector interface{ Pick(n int) int }
+
+// roundRobin is the only Selector implementation.
+type roundRobin struct{ last int }
+
+// Pick is reached only through the interface: CHA must still find it.
+func (r *roundRobin) Pick(n int) int {
+	r.last = (r.last + 1) % n
+	tmp := make([]int, n) // want `make allocates`
+	return tmp[r.last]
+}
+
+// Machine is the toy pipeline.
+type Machine struct {
+	scratch []int
+	sink    int
+	name    string
+	sel     Selector
+}
+
+// Step is the steady-state root.
+//
+//smt:hotpath
+func (m *Machine) Step() {
+	m.stage(8)
+	m.count(7)
+	m.describe()
+	m.grow()
+	m.refill(4)
+	m.leak()
+	m.pin()
+	m.sink += m.sel.Pick(4)
+	defer m.flush() // want `defer in hot-path function`
+	go m.flush()    // want `goroutine launch allocates`
+}
+
+// stage exercises the syntactic allocation checks.
+func (m *Machine) stage(n int) {
+	t := map[int]int{} // want `map literal allocates`
+	u := []int{1, 2}   // want `slice literal allocates`
+	p := new(int)      // want `new allocates`
+	m.sink += t[0] + u[0] + *p
+
+	c := m.sink
+	f := func() int { return c + 1 } // want `capturing closure allocates`
+	m.sink = f()
+
+	add := func(a, b int) int { return a + b } // non-capturing: static, fine
+	m.sink = add(m.sink, 1)
+
+	var tmp []int
+	for i := 0; i < n; i++ {
+		tmp = append(tmp, i) // want `append to non-preallocated local slice tmp`
+	}
+	m.sink += len(tmp)
+
+	// The amortized reuse idiom: append into a field-backed scratch buffer.
+	m.scratch = m.scratch[:0]
+	for i := 0; i < n; i++ {
+		m.scratch = append(m.scratch, i)
+	}
+
+	if m.sink < 0 {
+		panic(fmt.Sprintf("negative sink %d", m.sink)) // panic path: exempt
+	}
+}
+
+// count boxes its argument into an interface parameter.
+func (m *Machine) count(v int) {
+	record(v) // want `passing int as interface argument allocates`
+}
+
+// record swallows anything.
+func record(v any) { _ = v }
+
+// describe allocates through fmt and string concatenation.
+func (m *Machine) describe() {
+	m.name = fmt.Sprintf("m%d", m.sink) // want `fmt.Sprintf allocates`
+	m.name = m.name + "!"               // want `string concatenation allocates`
+}
+
+// grow reallocates the scratch buffer; the cut makes its body exempt.
+//
+//smt:coldpath amortized growth, runs O(log n) times per run
+func (m *Machine) grow() {
+	m.scratch = append(m.scratch, make([]int, 16)...)
+}
+
+// refill shows a justified in-line allocation.
+func (m *Machine) refill(n int) {
+	//smt:alloc amortized growth guard, hit once per capacity doubling
+	buf := make([]int, n)
+	m.sink += len(buf)
+
+	//smt:alloc
+	q := make([]int, n) // want `needs a justification`
+	m.sink += len(q)
+}
+
+// leak moves a local to the heap invisibly to the syntactic checks; only
+// the compiler's escape analysis (escapes mode) sees it.
+func (m *Machine) leak() {
+	x := m.sink
+	escapeSink = &x
+}
+
+// pin does the same with a justification the escapes mode must honor.
+func (m *Machine) pin() {
+	//smt:alloc probe pointer pinned for the run by design
+	y := m.sink
+	escapeSink = &y
+}
+
+// flush is reached via defer/go above; it must itself stay clean.
+func (m *Machine) flush() { m.sink = 0 }
+
+// drain is rare but its marker lacks a reason.
+//
+//smt:coldpath
+func (m *Machine) drain() { // want `needs a justification`
+	m.scratch = nil
+}
+
+// report allocates freely but is unreachable from any root: no findings.
+func (m *Machine) report() string {
+	all := map[string]int{"sink": m.sink}
+	return fmt.Sprintf("%v", all)
+}

@@ -1,0 +1,15 @@
+package servicehygiene_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/servicehygiene"
+)
+
+// TestServiceHygiene checks the analyzer against its fixture module:
+// unwrapped body reads and uncancellable calls fire in scope, disciplined
+// forms and out-of-scope packages stay quiet.
+func TestServiceHygiene(t *testing.T) {
+	analysistest.Run(t, "testdata/src", servicehygiene.Analyzer)
+}

@@ -1,0 +1,56 @@
+// Package dist is the servicehygiene fixture: it sits in both the
+// body-bounding and context scopes, so unwrapped request-body reads and
+// uncancellable client calls must fire while the disciplined forms pass.
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+)
+
+// handleRaw decodes without a byte limit.
+func handleRaw(w http.ResponseWriter, r *http.Request) {
+	var v map[string]string
+	_ = json.NewDecoder(r.Body).Decode(&v) // want `request body read without http.MaxBytesReader`
+	_ = w
+}
+
+// handleBounded decodes through MaxBytesReader: the disciplined form.
+func handleBounded(w http.ResponseWriter, r *http.Request) {
+	var v map[string]string
+	_ = json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&v)
+}
+
+// drain slurps the body wholesale; same unbounded-allocation hole.
+func drain(r *http.Request) {
+	_, _ = io.ReadAll(r.Body) // want `request body read without http.MaxBytesReader`
+}
+
+// fetch builds an uncancellable request and blocks without a context.
+func fetch(c *http.Client, url string) {
+	req, _ := http.NewRequest(http.MethodGet, url, nil) // want `http.NewRequest builds an uncancellable request`
+	resp, _ := c.Do(req)                                // want `drives http.Client.Do but takes no context.Context`
+	if resp != nil {
+		resp.Body.Close()
+	}
+}
+
+// fetchCtx is the cancellable version: request and blocking call both
+// answer to the caller's context.
+func fetchCtx(ctx context.Context, c *http.Client, url string) {
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	resp, _ := c.Do(req)
+	if resp != nil {
+		resp.Body.Close()
+	}
+}
+
+// lazyGet uses the package-level helper, which can never be cancelled.
+func lazyGet(url string) {
+	resp, _ := http.Get(url) // want `http.Get has no context`
+	if resp != nil {
+		resp.Body.Close()
+	}
+}

@@ -1,0 +1,9 @@
+// Package util is outside the service tier; hygiene rules do not apply.
+package util
+
+import "net/http"
+
+// Probe may build context-less requests outside the service packages.
+func Probe(url string) (*http.Request, error) {
+	return http.NewRequest(http.MethodGet, url, nil)
+}

@@ -10,6 +10,8 @@ import (
 // configured policy and partitioning scheme (alg.num1.num2), I-cache access
 // with bank-conflict logic, per-instruction branch prediction, wrong-path
 // following, and the ITAG early-tag-lookup option.
+//
+//smt:hotpath steady-state stage: runs every cycle
 func (p *Processor) fetchStage() {
 	// The fetch unit delivers into the decode latch; if decode has not
 	// drained (IQ-full back-pressure), every fetch opportunity is lost —
@@ -152,6 +154,7 @@ func (p *Processor) fetchThread(th *threadState, limit int) int {
 // newDyn creates the dynamic instance for the instruction at pc, consuming
 // an oracle record when the thread is on its correct path.
 func (p *Processor) newDyn(th *threadState, pc int64) *dyn {
+	//smt:alloc inlined pool refill (see pool.get); recycled via put
 	d := p.pool.get()
 	d.thread = int32(th.id)
 	d.seq = th.nextSeq

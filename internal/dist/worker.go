@@ -212,7 +212,9 @@ func (w *Worker) Run(ctx context.Context) error {
 	<-repDone
 	hbCancel()
 	<-hbDone
-	w.deregister()
+	// Detached on purpose: the run context is already canceled by the time
+	// the worker says goodbye.
+	w.deregister(context.Background())
 	// A mid-run permanent rejection (the coordinator restarted with a
 	// different build) is a failure, not a drain: the caller must see it
 	// and exit non-zero rather than report a clean shutdown.
@@ -292,12 +294,18 @@ func (w *Worker) registerOnce(ctx context.Context) error {
 	return nil
 }
 
-func (w *Worker) deregister() {
+// deregisterTimeout bounds the goodbye call: shutdown must not hang on a
+// coordinator that is itself going away.
+const deregisterTimeout = 5 * time.Second
+
+func (w *Worker) deregister(ctx context.Context) {
 	id := w.ID()
 	if id == "" {
 		return
 	}
-	req, err := http.NewRequest(http.MethodDelete, w.base+"/v1/workers/"+id, nil)
+	ctx, cancel := context.WithTimeout(ctx, deregisterTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, w.base+"/v1/workers/"+id, nil)
 	if err != nil {
 		return
 	}
@@ -599,7 +607,7 @@ func (w *Worker) postResults(batch []TaskResult) {
 		time.Sleep(w.opts.Backoff)
 	}
 	w.logf("dist: result post for %d task(s) never landed; leaving the registry so their leases requeue", len(batch))
-	w.deregister()
+	w.deregister(context.Background())
 }
 
 // postSnapshot streams one interval snapshot; best-effort.
