@@ -102,6 +102,16 @@ var matrix = []matrixPoint{
 		return c
 	}},
 	{"IQPOSN.2.8x8", func() smt.Config { return exp.MustFetchScheme(8, "IQPOSN", 2, 8) }},
+	// Mispredict-heavy: never-taken prediction maximizes wrong paths and
+	// squashes, and the variable fetch rate keeps the confidence-throttle
+	// arithmetic on the measured path (never-taken predictions carry no
+	// confidence, so every fetched branch charges the throttle).
+	{"ICOUNT.2.8x8+none+vfr", func() smt.Config {
+		c := exp.ICount28(8)
+		c.Branch.Predictor = smt.PredNone
+		c.VarFetchRate = true
+		return c
+	}},
 }
 
 func main() {

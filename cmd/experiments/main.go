@@ -11,6 +11,8 @@
 //	experiments -experiment fig4 -parallel 8 -json > fig4.json
 //	experiments -policies
 //	experiments -fetch ICOUNT,ICOUNT+BRCOUNT -threads 8 -nfetch 2
+//	experiments -predictors
+//	experiments -predictor gshare,gskewed,smiths -threads 8
 //
 // Output is bit-identical for every -parallel value: each simulation's seed
 // derives from its rotation index, never from scheduling order — and all
@@ -60,11 +62,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		// built-ins, composites, or custom registrations — head to head,
 		// without a registry preset.
 		fetchSweep = fs.String("fetch", "", "comma-separated registered fetch policies for an ad-hoc comparison (replaces -experiment; see -policies)")
-		issueAlg   = fs.String("issue", "OLDEST_FIRST", "issue policy for the -fetch comparison")
-		threads    = fs.Int("threads", 8, "max hardware contexts for the -fetch comparison")
-		nFetch     = fs.Int("nfetch", 2, "threads fetched per cycle for the -fetch comparison (num1)")
-		wFetch     = fs.Int("wfetch", 8, "max instructions per thread per cycle for the -fetch comparison (num2)")
+		issueAlg   = fs.String("issue", "OLDEST_FIRST", "issue policy for the -fetch/-predictor comparison")
+		threads    = fs.Int("threads", 8, "max hardware contexts for the -fetch/-predictor comparison")
+		nFetch     = fs.Int("nfetch", 2, "threads fetched per cycle for the -fetch/-predictor comparison (num1)")
+		wFetch     = fs.Int("wfetch", 8, "max instructions per thread per cycle for the -fetch/-predictor comparison (num2)")
 		policies   = fs.Bool("policies", false, "list registered fetch and issue policies and exit")
+
+		// Ad-hoc predictor comparison: any registered branch predictors —
+		// built-ins, return-stack variants, or custom registrations — swept
+		// head to head under one fetch scheme.
+		predSweep  = fs.String("predictor", "", "comma-separated registered branch predictors for an ad-hoc comparison (replaces -experiment; see -predictors)")
+		predFetch  = fs.String("predfetch", "ICOUNT", "fetch policy for the -predictor comparison")
+		predictors = fs.Bool("predictors", false, "list registered branch predictors and exit")
 
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memprofile = fs.String("memprofile", "", "write a heap profile at exit to this file")
@@ -138,6 +147,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "issue policies: %s\n", strings.Join(smt.IssuePolicies(), ", "))
 		return 0
 	}
+	if *predictors {
+		fmt.Fprintf(stdout, "branch predictors: %s\n", strings.Join(smt.Predictors(), ", "))
+		return 0
+	}
 
 	expSet, runSet := false, false
 	var adhocOnly []string
@@ -149,16 +162,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 			runSet = true
 		case "issue", "threads", "nfetch", "wfetch":
 			adhocOnly = append(adhocOnly, "-"+f.Name)
+		case "predfetch":
+			if *predSweep == "" {
+				adhocOnly = append(adhocOnly, "-"+f.Name)
+			}
 		}
 	})
 	if expSet && runSet {
 		fmt.Fprintln(stderr, "-experiment and -run are aliases; pass only one")
 		return 2
 	}
-	if *fetchSweep == "" && len(adhocOnly) > 0 {
+	if *fetchSweep != "" && *predSweep != "" {
+		fmt.Fprintln(stderr, "-fetch and -predictor each run their own ad-hoc comparison; pass only one")
+		return 2
+	}
+	if *fetchSweep == "" && *predSweep == "" && len(adhocOnly) > 0 {
 		// Registry experiments fix their own policies and thread counts;
 		// silently dropping these overrides would misattribute results.
-		fmt.Fprintf(stderr, "%s only apply to the -fetch ad-hoc comparison\n", strings.Join(adhocOnly, ", "))
+		fmt.Fprintf(stderr, "%s only apply to the -fetch/-predictor ad-hoc comparisons\n", strings.Join(adhocOnly, ", "))
 		return 2
 	}
 
@@ -209,6 +230,31 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 		}
 		e, err := exp.PolicyComparison(names, *issueAlg, *threads, *nFetch, *wFetch)
+		if err != nil {
+			fmt.Fprintln(stderr, "experiments:", err)
+			return 2
+		}
+		res, err := runner.RunExperiment(context.Background(), e, o)
+		if err != nil {
+			fmt.Fprintln(stderr, "experiments:", err)
+			return 1
+		}
+		emit(res, printSeries)
+		return finish()
+	}
+
+	if *predSweep != "" {
+		if expSet || runSet {
+			fmt.Fprintln(stderr, "-predictor runs an ad-hoc comparison and replaces -experiment/-run; pass only one")
+			return 2
+		}
+		var names []string
+		for _, n := range strings.Split(*predSweep, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+		e, err := exp.PredictorComparison(names, *predFetch, *issueAlg, *threads, *nFetch, *wFetch)
 		if err != nil {
 			fmt.Fprintln(stderr, "experiments:", err)
 			return 2
@@ -273,6 +319,9 @@ var printers = map[string]func(io.Writer, *exp.ExperimentResult){
 	"table5": printTable5,
 	"sec7":   printSec7,
 	"fig7":   printFig7,
+
+	"predmatrix": printSeries,
+	"predvfr":    printSeries,
 }
 
 func printFig3(w io.Writer, res *exp.ExperimentResult) {

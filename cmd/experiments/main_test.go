@@ -377,4 +377,52 @@ func TestAdhocOnlyFlagsRequireFetch(t *testing.T) {
 	if _, errOut, code := runCLI(t, "-threads", "4"); code != 2 || !strings.Contains(errOut, "-threads") {
 		t.Fatalf("exit %d, stderr %q", code, errOut)
 	}
+	if _, errOut, code := runCLI(t, "-experiment", "fig3", "-predfetch", "RR"); code != 2 || !strings.Contains(errOut, "-predfetch") {
+		t.Fatalf("exit %d, stderr %q", code, errOut)
+	}
+}
+
+func TestPredictorsListing(t *testing.T) {
+	out, _, code := runCLI(t, "-predictors")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{"gshare", "smiths", "gskewed", "static", "gshare.noret", "perfect"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-predictors output missing %s:\n%s", want, out)
+		}
+	}
+}
+
+// The -predictor flag runs an ad-hoc head-to-head of registered branch
+// predictors under one fetch scheme, without a registry preset.
+func TestAdhocPredictorSweep(t *testing.T) {
+	args := append([]string{"-predictor", "gshare,none", "-threads", "2"}, tiny...)
+	out, errOut, code := runCLI(t, args...)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errOut)
+	}
+	for _, want := range []string{"gshare", "none"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ad-hoc predictor output missing series %s:\n%s", want, out)
+		}
+	}
+}
+
+func TestAdhocUnknownPredictorFails(t *testing.T) {
+	_, errOut, code := runCLI(t, "-predictor", "NOPE")
+	if code != 2 || !strings.Contains(errOut, "unknown branch predictor") ||
+		!strings.Contains(errOut, "gshare") || !strings.Contains(errOut, "gskewed") {
+		t.Fatalf("exit %d, stderr %q", code, errOut)
+	}
+}
+
+func TestAdhocPredictorConflictsWithFetch(t *testing.T) {
+	_, errOut, code := runCLI(t, "-fetch", "ICOUNT", "-predictor", "gshare")
+	if code != 2 || !strings.Contains(errOut, "-predictor") {
+		t.Fatalf("exit %d, stderr %q", code, errOut)
+	}
+	if _, errOut, code := runCLI(t, "-predictor", "gshare", "-experiment", "fig3"); code != 2 || !strings.Contains(errOut, "-predictor") {
+		t.Fatalf("exit %d, stderr %q", code, errOut)
+	}
 }

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestPredictorMatrixSmoke boots the real binary entry point and submits a
+// 2-point predictor-matrix sweep through the inline-grid path: predictor
+// names flow through partial-config JSON into Config.Branch.Predictor and
+// on into the content-addressed cache key. The resubmission must be served
+// entirely from cache with identical bytes — the determinism contract for
+// predictor-parameterized sweeps. CI runs exactly this as part of the
+// service smoke job.
+func TestPredictorMatrixSmoke(t *testing.T) {
+	ready := make(chan string, 1)
+	var out, errb bytes.Buffer
+	go run([]string{"-addr", "127.0.0.1:0", "-workers", "2"}, &out, &errb, ready)
+
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case <-time.After(10 * time.Second):
+		t.Fatalf("server never came up\nstdout: %s\nstderr: %s", out.String(), errb.String())
+	}
+
+	post := func() sweepStatus {
+		t.Helper()
+		// Two predmatrix points: the default machine under a non-default
+		// predictor, and the variable fetch rate on top of gskewed.
+		body := `{
+			"name": "pred-smoke",
+			"grid": [
+				{"series": "gskewed", "threads": 2, "config": {"Branch": {"Predictor": "gskewed"}}},
+				{"series": "gskewed+vfr", "threads": 2, "config": {"Branch": {"Predictor": "gskewed"}, "VarFetchRate": true}}
+			],
+			"opts": {"runs": 1, "warmup": 500, "measure": 1000, "seed": 1},
+			"wait": true
+		}`
+		resp, err := http.Post(base+"/v1/sweep", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("sweep status %d", resp.StatusCode)
+		}
+		var st sweepStatus
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		if st.State != "done" || st.TotalJobs != 2 {
+			t.Fatalf("sweep did not finish: %+v", st)
+		}
+		return st
+	}
+	result := func(st sweepStatus) string {
+		t.Helper()
+		resp, err := http.Get(base + st.ResultURL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var b bytes.Buffer
+		if _, err := b.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+
+	first := post()
+	if first.CacheHits != 0 {
+		t.Fatalf("cold sweep reported %d cache hits", first.CacheHits)
+	}
+	second := post()
+	if second.CacheHits != second.TotalJobs {
+		t.Fatalf("resubmission hit cache on %d of %d jobs", second.CacheHits, second.TotalJobs)
+	}
+	if a, b := result(first), result(second); a != b || len(a) == 0 {
+		t.Fatalf("cached resubmission changed the result:\n%s\nvs\n%s", a, b)
+	}
+
+	// An unknown predictor name must be rejected up front with the valid
+	// names in the message, not accepted into a sweep that then fails.
+	bad := `{"name": "bad", "grid": [{"threads": 2, "config": {"Branch": {"Predictor": "NOPE"}}}],
+		"opts": {"runs": 1, "warmup": 500, "measure": 1000, "seed": 1}, "wait": true}`
+	resp, err := http.Post(base+"/v1/sweep", "application/json", strings.NewReader(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var msg bytes.Buffer
+	msg.ReadFrom(resp.Body)
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(msg.String(), "gshare") {
+		t.Fatalf("unknown predictor: status %d, body %s", resp.StatusCode, msg.String())
+	}
+}

@@ -1,34 +1,78 @@
-// Package branch implements the paper's branch prediction hardware: a
-// decoupled branch target buffer (BTB) and pattern history table (PHT)
-// scheme in the style of Calder & Grunwald, with per-thread subroutine
-// return stacks.
+// Package branch implements the simulator's branch prediction subsystem as
+// a name-keyed registry of predictors, mirroring the fetch/issue policy
+// registry in internal/policy.
 //
-// The baseline configuration matches Section 2.1 of the paper: a 256-entry
-// four-way set-associative BTB whose entries are tagged with a thread id (to
-// avoid predicting phantom branches for other threads), a 2K x 2-bit PHT
-// indexed by the XOR of the low PC bits and the per-thread global history
-// register (McFarling's gshare), and a 12-entry return stack per hardware
-// context. The BTB and PHT are shared by all threads — the paper
-// deliberately does not replicate or resize them for SMT — so a
-// multiprogrammed workload degrades them realistically as threads are added.
+// Every predictor shares the paper's prediction frame (Section 2.1): a
+// 256-entry four-way set-associative BTB whose entries are tagged with a
+// thread id (to avoid predicting phantom branches for other threads),
+// per-thread global history registers, and a 12-entry return stack per
+// hardware context. The BTB and the direction tables are shared by all
+// threads — the paper deliberately does not replicate or resize them for
+// SMT — so a multiprogrammed workload degrades them realistically as
+// threads are added.
+//
+// What varies by registered name is the conditional-direction engine and
+// the return-prediction mode, following the SCOoOTER feature menu:
+//
+//   - "gshare" (the default): a 2K x 2-bit PHT indexed by the XOR of the
+//     low PC bits and the per-thread history register (McFarling), exactly
+//     the paper's baseline — the default configuration's behaviour and
+//     fingerprint are byte-identical to the pre-registry implementation;
+//   - "smiths": the same 2-bit counters indexed by PC alone (Smith 1981);
+//   - "static": backward-taken/forward-not-taken, using a non-mutating BTB
+//     peek for the target comparison (an unknown target predicts not-taken);
+//   - "gskewed": three 2-bit banks with skewed indices and majority vote
+//     (Michaud/Seznec/Uhlig);
+//   - "none": always not-taken;
+//   - "perfect": the oracle — the core bypasses prediction entirely.
+//
+// Each direction engine also registers ".rasonly" (return stack without
+// BTB fallback) and ".noret" (no return prediction) variants. Custom
+// predictors register via Register, either implementing Predictor outright
+// or composing a DirEngine into the standard frame with NewComposed.
+//
+// Every predictor reports a per-prediction confidence estimate; the core's
+// variable-fetch-rate mode (core.Config.VarFetchRate) throttles a thread's
+// fetch allotment while low-confidence branches are in flight.
 package branch
 
 import (
 	"fmt"
 
-	"repro/internal/isa"
+	"repro/internal/fingerprint"
 )
 
-// Config sizes the prediction hardware. The zero value is not useful; use
-// DefaultConfig.
+// Built-in predictor names. Composable return-stack variants append
+// ".rasonly" or ".noret" (e.g. "gshare.noret").
+const (
+	Gshare  = "gshare"
+	Smiths  = "smiths"
+	Static  = "static"
+	Gskewed = "gskewed"
+	None    = "none"
+	Perfect = "perfect"
+
+	// DefaultPredictor resolves the empty Config.Predictor name: the
+	// paper's gshare scheme.
+	DefaultPredictor = Gshare
+)
+
+// Config sizes the prediction hardware and names the predictor. The zero
+// value is not useful; use DefaultConfig.
 type Config struct {
 	BTBEntries int  // total BTB entries (256 in the paper)
 	BTBAssoc   int  // BTB associativity (4-way in the paper)
-	PHTEntries int  // pattern history table entries (2048 in the paper)
+	PHTEntries int  // direction-table entries per bank (2048 in the paper)
 	RASEntries int  // return-stack entries per thread (12 in the paper)
 	HistoryLen int  // global history bits used in the gshare index
 	Threads    int  // hardware contexts (sizes the per-thread state)
 	Perfect    bool // oracle prediction: every branch and jump predicted correctly
+
+	// Predictor names a registered predictor builder; empty selects the
+	// default (gshare), keeping the configuration's fingerprint — and
+	// every cached result keyed by it — identical to the pre-registry
+	// encoding (see CanonicalFingerprint).
+	Predictor string
 }
 
 // DefaultConfig returns the paper's baseline predictor configuration for the
@@ -67,231 +111,46 @@ func (c Config) Validate() error {
 	if c.HistoryLen < 0 || c.HistoryLen > 32 {
 		return fmt.Errorf("branch: history length %d out of range", c.HistoryLen)
 	}
+	if c.HistoryLen > log2(c.PHTEntries) {
+		// More history bits than index bits silently alias the PHT index:
+		// the XOR folds the excess bits onto the low ones, so two histories
+		// the predictor means to distinguish hit the same counter.
+		return fmt.Errorf("branch: history length %d exceeds log2(PHT entries) = %d",
+			c.HistoryLen, log2(c.PHTEntries))
+	}
+	if _, ok := Lookup(c.Predictor); !ok {
+		return fmt.Errorf("branch: unknown predictor %q (registered: %v)", c.Predictor, Names())
+	}
 	return nil
 }
 
-// btbEntry is one BTB way: a (thread, tag) pair and the predicted target.
-// The thread id in each entry is one of the paper's explicit SMT additions.
-type btbEntry struct {
-	valid  bool
-	thread uint8
-	tag    uint64
-	target int64
-	lru    uint32
-}
-
-// Predictor is the complete branch prediction unit.
-type Predictor struct {
-	cfg     Config
-	sets    int
-	setMask uint64
-	btb     []btbEntry // sets * assoc, way-major within a set
-	pht     []uint8    // 2-bit saturating counters
-	history []uint32   // per-thread global history register
-	ras     []retStack // per-thread return stacks
-	lruTick uint32
-}
-
-// retStack is a fixed-size circular return stack. Overflow overwrites the
-// oldest entry; underflow yields a garbage (zero) prediction, as in hardware.
-type retStack struct {
-	data []int64
-	top  int // index of the next free slot
-	size int // live entries, capped at len(data)
-}
-
-// New builds a predictor from cfg.
-func New(cfg Config) (*Predictor, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
+// resolved returns the effective predictor name (empty resolves to the
+// default).
+func (c Config) resolved() string {
+	if c.Predictor == "" {
+		return DefaultPredictor
 	}
-	sets := cfg.BTBEntries / cfg.BTBAssoc
-	p := &Predictor{
-		cfg:     cfg,
-		sets:    sets,
-		setMask: uint64(sets - 1),
-		btb:     make([]btbEntry, cfg.BTBEntries),
-		pht:     make([]uint8, cfg.PHTEntries),
-		history: make([]uint32, cfg.Threads),
-		ras:     make([]retStack, cfg.Threads),
+	return c.Predictor
+}
+
+// Oracle reports whether the configuration asks for perfect prediction, in
+// which case the core bypasses the predictor entirely.
+func (c Config) Oracle() bool {
+	return c.Perfect || c.resolved() == Perfect
+}
+
+// CanonicalFingerprint keeps Config's canonical encoding stable as the
+// subsystem grows: the Predictor field renders only when it names a
+// non-default predictor, so every fingerprint computed before predictors
+// became pluggable — and every cache key derived from one — remains valid,
+// while any other predictor content-addresses the configuration it
+// actually runs.
+func (c Config) CanonicalFingerprint() string {
+	if c.Predictor == DefaultPredictor {
+		c.Predictor = "" // the default encodes as absent, like the empty name
 	}
-	for i := range p.pht {
-		p.pht[i] = 1 // weakly not-taken
-	}
-	for t := range p.ras {
-		p.ras[t] = retStack{data: make([]int64, cfg.RASEntries)}
-	}
-	return p, nil
+	return fingerprint.Struct(c, "Predictor")
 }
-
-// MustNew is New for static configurations; it panics on error.
-func MustNew(cfg Config) *Predictor {
-	p, err := New(cfg)
-	if err != nil {
-		panic(err)
-	}
-	return p
-}
-
-// Config returns the predictor's configuration.
-func (p *Predictor) Config() Config { return p.cfg }
-
-// phtIndex computes the gshare index for (thread, pc).
-func (p *Predictor) phtIndex(thread int, pc int64) int {
-	idx := (uint64(pc) >> 2) ^ uint64(p.history[thread])
-	return int(idx & uint64(p.cfg.PHTEntries-1))
-}
-
-// Direction predicts taken/not-taken for a conditional branch at pc.
-func (p *Predictor) Direction(thread int, pc int64) bool {
-	return p.pht[p.phtIndex(thread, pc)] >= 2
-}
-
-// Target looks up the BTB for (thread, pc); ok is false on a miss.
-func (p *Predictor) Target(thread int, pc int64) (target int64, ok bool) {
-	set, tag := p.btbSetTag(pc)
-	base := set * p.cfg.BTBAssoc
-	for w := 0; w < p.cfg.BTBAssoc; w++ {
-		e := &p.btb[base+w]
-		if e.valid && e.thread == uint8(thread) && e.tag == tag {
-			p.lruTick++
-			e.lru = p.lruTick
-			return e.target, true
-		}
-	}
-	return 0, false
-}
-
-func (p *Predictor) btbSetTag(pc int64) (set int, tag uint64) {
-	line := uint64(pc) >> 2
-	return int(line & p.setMask), line >> uint(log2(p.sets))
-}
-
-// SpeculateHistory shifts the predicted outcome of a conditional branch into
-// the thread's global history register at fetch time, returning the previous
-// value so the caller can checkpoint it for squash recovery.
-func (p *Predictor) SpeculateHistory(thread int, taken bool) (checkpoint uint32) {
-	checkpoint = p.history[thread]
-	h := checkpoint << 1
-	if taken {
-		h |= 1
-	}
-	if p.cfg.HistoryLen < 32 {
-		h &= (1 << uint(p.cfg.HistoryLen)) - 1
-	}
-	p.history[thread] = h
-	return checkpoint
-}
-
-// RestoreHistory rolls the thread's global history back to a checkpoint
-// taken by SpeculateHistory (used when squashing wrong-path instructions).
-func (p *Predictor) RestoreHistory(thread int, checkpoint uint32) {
-	p.history[thread] = checkpoint
-}
-
-// History returns the thread's current global history register value.
-func (p *Predictor) History(thread int) uint32 { return p.history[thread] }
-
-// Update trains the predictor at branch commit: the PHT counter moves toward
-// the actual direction and, for taken control transfers, the BTB learns the
-// target. history is the pre-branch history checkpoint, so training uses the
-// same index the prediction used.
-func (p *Predictor) Update(thread int, pc int64, class isa.Class, taken bool, target int64, history uint32) {
-	if class.IsCondBranch() {
-		saved := p.history[thread]
-		p.history[thread] = history
-		idx := p.phtIndex(thread, pc)
-		p.history[thread] = saved
-		if taken {
-			if p.pht[idx] < 3 {
-				p.pht[idx]++
-			}
-		} else if p.pht[idx] > 0 {
-			p.pht[idx]--
-		}
-	}
-	if taken && class.IsControl() {
-		p.installBTB(thread, pc, target)
-	}
-}
-
-// installBTB inserts or refreshes a BTB entry, evicting the LRU way.
-func (p *Predictor) installBTB(thread int, pc, target int64) {
-	set, tag := p.btbSetTag(pc)
-	base := set * p.cfg.BTBAssoc
-	victim := base
-	p.lruTick++
-	for w := 0; w < p.cfg.BTBAssoc; w++ {
-		e := &p.btb[base+w]
-		if e.valid && e.thread == uint8(thread) && e.tag == tag {
-			e.target = target
-			e.lru = p.lruTick
-			return
-		}
-		if !e.valid {
-			victim = base + w
-		} else if p.btb[victim].valid && e.lru < p.btb[victim].lru {
-			victim = base + w
-		}
-	}
-	p.btb[victim] = btbEntry{valid: true, thread: uint8(thread), tag: tag, target: target, lru: p.lruTick}
-}
-
-// PushReturn records a call's return address on the thread's return stack
-// (at fetch time). It returns a checkpoint for squash recovery.
-func (p *Predictor) PushReturn(thread int, returnPC int64) RASCheckpoint {
-	s := &p.ras[thread]
-	cp := RASCheckpoint{Top: s.top, Size: s.size, Saved: s.data[s.top]}
-	s.data[s.top] = returnPC
-	s.top = (s.top + 1) % len(s.data)
-	if s.size < len(s.data) {
-		s.size++
-	}
-	return cp
-}
-
-// PopReturn predicts a return target by popping the thread's return stack.
-// ok is false if the stack is empty. The checkpoint restores the stack on a
-// squash.
-func (p *Predictor) PopReturn(thread int) (target int64, ok bool, cp RASCheckpoint) {
-	s := &p.ras[thread]
-	cp = RASCheckpoint{Top: s.top, Size: s.size}
-	if s.size == 0 {
-		return 0, false, cp
-	}
-	s.top = (s.top - 1 + len(s.data)) % len(s.data)
-	cp.Saved = s.data[s.top]
-	s.size--
-	return s.data[s.top], true, cp
-}
-
-// RASCheckpoint captures enough return-stack state to undo one push or pop.
-type RASCheckpoint struct {
-	Top   int
-	Size  int
-	Saved int64
-}
-
-// RestoreRAS undoes a single push or pop using its checkpoint. Checkpoints
-// must be restored in reverse order of creation (the squash walk is
-// youngest-first, which satisfies this).
-func (p *Predictor) RestoreRAS(thread int, cp RASCheckpoint) {
-	s := &p.ras[thread]
-	// Undo a push: the checkpointed top slot had Saved in it.
-	// Undo a pop: the popped slot gets its value back. Both reduce to
-	// restoring top/size and re-writing the saved slot value.
-	if cp.Top != s.top || cp.Size != s.size {
-		restoreSlot := cp.Top
-		if cp.Size > s.size { // undoing a pop: slot below checkpointed top
-			restoreSlot = (cp.Top - 1 + len(s.data)) % len(s.data)
-		}
-		s.data[restoreSlot] = cp.Saved
-		s.top, s.size = cp.Top, cp.Size
-	}
-}
-
-// RASDepth returns the number of live entries in the thread's return stack.
-func (p *Predictor) RASDepth(thread int) int { return p.ras[thread].size }
 
 func log2(n int) int {
 	k := 0

@@ -116,7 +116,7 @@ func (p *Processor) trainPredictor(th *threadState, d *dyn) {
 			p.stats.JumpMispredicts++
 		}
 	}
-	if !p.cfg.PerfectBranchPred {
+	if !p.oracle {
 		p.pred.Update(th.id, d.pc, cls, taken, target, d.ghrCP)
 	}
 }

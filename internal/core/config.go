@@ -99,6 +99,21 @@ type Config struct {
 	// PerfectBranchPred makes every control transfer predicted exactly
 	// (Section 7 "Branch Prediction" study).
 	PerfectBranchPred bool
+
+	// VarFetchRate throttles each thread's per-cycle fetch allotment by its
+	// count of in-flight low-confidence branches (FetchPerThread >> count,
+	// floor 1), using the predictor's per-prediction confidence estimate.
+	// Off by default; the zero value is omitted from the fingerprint so
+	// pre-existing content addresses are unchanged.
+	VarFetchRate bool
+}
+
+// CanonicalFingerprint renders the config for content addressing
+// (fingerprint.Canonicaler): the standard sorted-field struct encoding,
+// with VarFetchRate omitted when false so every pre-VFR fingerprint — and
+// therefore every cached result key — survives the field's addition.
+func (c Config) CanonicalFingerprint() string {
+	return fingerprint.Struct(c, "VarFetchRate")
 }
 
 // DefaultConfig returns the paper's baseline SMT machine (Section 2.1) for

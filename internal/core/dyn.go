@@ -53,6 +53,7 @@ type dyn struct {
 
 	// Branch prediction state captured at fetch.
 	predTaken  bool
+	lowConf    bool // low-confidence direction prediction, counted on its thread
 	predNextPC int64
 	mispred    mispredKind
 	correctPC  int64 // redirect target on mispredExec

@@ -258,9 +258,22 @@ func (p *Processor) resolve(d *dyn) {
 	d.resolved = true
 	th := p.threads[d.thread]
 	th.removeCtl(d)
+	p.noteLowConfDone(d)
 	if !d.wrongPath && d.mispred == mispredExec {
 		p.stats.Mispredicts++
+		p.stats.MispredictsByThread[d.thread]++
 		p.events.schedule(p.cycle+1, evSquash, d, d.thread)
+	}
+}
+
+// noteLowConfDone retires d's low-confidence charge against its thread.
+// The flag clears on the first call, so an instruction that is resolved
+// and later squashed (or squashed while its resolve event is in flight)
+// decrements exactly once.
+func (p *Processor) noteLowConfDone(d *dyn) {
+	if d.lowConf {
+		d.lowConf = false
+		p.threads[d.thread].lowConfCount--
 	}
 }
 
@@ -312,6 +325,7 @@ func (p *Processor) squashLatch(latch *[]*dyn, th *threadState, seq int64) {
 			continue
 		}
 		p.restoreCheckpoints(d, th)
+		p.noteLowConfDone(d)
 		th.icount--
 		if d.isControl() {
 			th.brcount--
@@ -336,6 +350,7 @@ func (p *Processor) squashLatch(latch *[]*dyn, th *threadState, seq int64) {
 // or executing) and rolls back its rename allocation.
 func (p *Processor) squashRenamed(d *dyn, th *threadState) {
 	p.restoreCheckpoints(d, th)
+	p.noteLowConfDone(d)
 	if d.inIQ {
 		th.icount--
 		if d.isControl() {

@@ -93,7 +93,7 @@ func (p *Processor) fetchStage() {
 			missed = true
 			continue
 		}
-		n := p.fetchThread(th, min(p.cfg.FetchPerThread, budget))
+		n := p.fetchThread(th, min(p.fetchLimit(th), budget))
 		budget -= n
 		if n > 0 {
 			fetchedAny = true
@@ -116,6 +116,34 @@ func (p *Processor) fetchStage() {
 		// invariant (the counters partition Cycles) survives a logic bug.
 		p.stats.FetchLostNoThread++
 	}
+}
+
+// fetchLimit returns th's per-cycle fetch allotment. With VarFetchRate
+// off (the default) it is the configured FetchPerThread. With it on, the
+// allotment halves for every in-flight low-confidence branch the thread
+// has outstanding — a thread speculating down k weakly-predicted paths
+// fetches FetchPerThread>>k instructions (floor 1, so a context is never
+// starved outright and can still resolve its way back to full rate).
+//
+//smt:hotpath steady-state: called once per fetch pick
+func (p *Processor) fetchLimit(th *threadState) int {
+	limit := p.cfg.FetchPerThread
+	if !p.cfg.VarFetchRate {
+		return limit
+	}
+	k := th.lowConfCount
+	if k <= 0 {
+		return limit
+	}
+	if k > 30 {
+		k = 30 // clamp the shift; beyond this the floor applies anyway
+	}
+	scaled := limit >> uint(k)
+	if scaled < 1 {
+		scaled = 1
+	}
+	p.stats.VarFetchThrottled += int64(limit - scaled)
+	return scaled
 }
 
 // fetchThread fetches up to limit instructions from one thread's PC,
@@ -196,7 +224,7 @@ func (p *Processor) predictNext(th *threadState, d *dyn) (next int64, stop bool)
 		return d.pc + isa.InstrBytes, false
 	}
 
-	if p.cfg.PerfectBranchPred && !d.wrongPath {
+	if p.oracle && !d.wrongPath {
 		// Oracle prediction: always right, no bubbles, no wrong paths.
 		d.predTaken = d.rec.Taken
 		d.predNextPC = d.rec.NextPC
@@ -211,9 +239,15 @@ func (p *Processor) predictNext(th *threadState, d *dyn) (next int64, stop bool)
 
 	switch cls {
 	case isa.ClassBranch:
-		predTaken = p.pred.Direction(th.id, d.pc)
+		var conf bool
+		predTaken, conf = p.pred.Direction(th.id, d.pc)
 		d.ghrCP = p.pred.SpeculateHistory(th.id, predTaken)
 		d.hasGhrCP = true
+		if !conf {
+			d.lowConf = true
+			th.lowConfCount++
+			p.stats.LowConfFetched[th.id]++
+		}
 		if predTaken {
 			if t, ok := p.pred.Target(th.id, d.pc); ok {
 				target, haveTarget = t, true
@@ -232,8 +266,9 @@ func (p *Processor) predictNext(th *threadState, d *dyn) (next int64, stop bool)
 			misfetch = true
 		}
 	case isa.ClassCall:
-		d.rasCP = p.pred.PushReturn(th.id, fall)
-		d.hasRasCP = true
+		if cp, ok := p.pred.PushReturn(th.id, fall); ok {
+			d.rasCP, d.hasRasCP = cp, true
+		}
 		if t, ok := p.pred.Target(th.id, d.pc); ok {
 			target, haveTarget = t, true
 		} else {
@@ -241,10 +276,10 @@ func (p *Processor) predictNext(th *threadState, d *dyn) (next int64, stop bool)
 			misfetch = true
 		}
 	case isa.ClassReturn:
-		if t, ok, cp := p.pred.PopReturn(th.id); ok {
-			d.rasCP, d.hasRasCP = cp, true
-			target, haveTarget = t, true
-		} else if t, ok2 := p.pred.Target(th.id, d.pc); ok2 {
+		if t, ok, cp, hasCP := p.pred.Return(th.id, d.pc); ok {
+			if hasCP {
+				d.rasCP, d.hasRasCP = cp, true
+			}
 			target, haveTarget = t, true
 		}
 		// No prediction available: fall through (resolved at exec).

@@ -44,6 +44,9 @@ var DiagnosticOnlyCounters = []string{
 	"Misfetches",           // decode-corrected bubbles; folded into fetch availability
 	"SquashedInstructions", // squash volume; Results reports the wrong-path fractions instead
 	"Mispredicts",          // exec redirects; Results reports per-class mispredict rates
+	"LowConfFetched",       // per-thread confidence diagnostics; schema stays frozen
+	"MispredictsByThread",  // per-thread split of Mispredicts, same reasoning
+	"VarFetchThrottled",    // VFR throttle accounting; off-by-default feature
 }
 
 // PartitionViolations evaluates every declared partition against the

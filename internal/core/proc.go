@@ -38,6 +38,12 @@ type threadState struct {
 	brcount   int // unresolved control instructions in those stages
 	misscount int // outstanding D-cache misses
 
+	// lowConfCount tracks in-flight low-confidence conditional branches
+	// (set at fetch from the predictor's confidence estimate, cleared at
+	// resolve or squash). It drives the variable-fetch-rate throttle and
+	// the LowConf fetch-policy feedback field.
+	lowConfCount int
+
 	committed int64
 	wrongSalt uint64 // wrong-path address diversifier
 }
@@ -56,9 +62,15 @@ type Processor struct {
 	fbNeeds    policy.FeedbackNeeds // fields fetchSel reads from ThreadFeedback
 	issueNeeds policy.IssueNeeds    // fields issueSel reads from IssueInfo
 
-	pred *branch.Predictor
-	mem  *mem.Hierarchy
-	ren  *rename.Renamer
+	// pred is the branch predictor resolved from cfg.Branch.Predictor's
+	// registered name at construction. oracle short-circuits it entirely:
+	// perfect prediction (PerfectBranchPred or the "perfect" predictor)
+	// never consults or trains the unit.
+	pred   branch.Predictor
+	oracle bool
+
+	mem *mem.Hierarchy
+	ren *rename.Renamer
 
 	intQ *iq.Queue[*dyn]
 	fpQ  *iq.Queue[*dyn]
@@ -156,8 +168,11 @@ func New(cfg Config, programs []*workload.Program) (*Processor, error) {
 		fbBuf:       make([]policy.ThreadFeedback, cfg.Threads),
 		orderBuf:    make([]int, 0, cfg.Threads),
 	}
+	p.oracle = cfg.PerfectBranchPred || cfg.Branch.Oracle()
 	p.events.init(cfg.eventHorizon())
 	p.stats.CommittedByThread = make([]int64, cfg.Threads)
+	p.stats.LowConfFetched = make([]int64, cfg.Threads)
+	p.stats.MispredictsByThread = make([]int64, cfg.Threads)
 	for t := 0; t < cfg.Threads; t++ {
 		prog := programs[t]
 		p.threads = append(p.threads, &threadState{
@@ -186,6 +201,8 @@ func (p *Processor) Config() Config { return p.cfg }
 func (p *Processor) Stats() Stats {
 	s := p.stats
 	s.CommittedByThread = append([]int64(nil), p.stats.CommittedByThread...)
+	s.LowConfFetched = append([]int64(nil), p.stats.LowConfFetched...)
+	s.MispredictsByThread = append([]int64(nil), p.stats.MispredictsByThread...)
 	return s
 }
 
@@ -203,10 +220,14 @@ func (p *Processor) Committed() int64 { return p.stats.Committed }
 // included) without disturbing machine state; use it to exclude warmup.
 func (p *Processor) ResetStats() {
 	perThread := p.stats.CommittedByThread
+	lowConf := p.stats.LowConfFetched
+	mispred := p.stats.MispredictsByThread
 	for i := range perThread {
 		perThread[i] = 0
+		lowConf[i] = 0
+		mispred[i] = 0
 	}
-	p.stats = Stats{CommittedByThread: perThread}
+	p.stats = Stats{CommittedByThread: perThread, LowConfFetched: lowConf, MispredictsByThread: mispred}
 	p.mem.ResetStats()
 }
 
@@ -283,6 +304,9 @@ func (p *Processor) buildFeedback() []policy.ThreadFeedback {
 		}
 		if needs.MissCount {
 			fb.MissCount = th.misscount
+		}
+		if needs.LowConf {
+			fb.LowConf = th.lowConfCount
 		}
 		p.fbBuf[t] = fb
 	}

@@ -52,6 +52,13 @@ type Stats struct {
 	// Per-thread squash accounting.
 	SquashedInstructions int64
 	Mispredicts          int64 // exec-redirect squashes (wrong paths entered)
+
+	// Branch-confidence diagnostics (predictor registry / variable fetch
+	// rate). Per-thread so fetch-policy studies can see which contexts the
+	// predictor trusts; deliberately absent from smt.Results (frozen schema).
+	LowConfFetched      []int64 // low-confidence conditional branches fetched
+	MispredictsByThread []int64 // exec-redirect squashes per thread
+	VarFetchThrottled   int64   // fetch slots withheld by the VarFetchRate throttle
 }
 
 // Sub returns the counter-wise difference s - base: the statistics of the

@@ -20,7 +20,7 @@ func goldenOpts() Opts {
 // goldenExperiments lists the registry entries with committed golden files.
 // Small grids only — the point is regression coverage of the engine and the
 // simulator, not a full paper reproduction in testdata.
-var goldenExperiments = []string{"fig7", "table4", "table3"}
+var goldenExperiments = []string{"fig7", "table4", "table3", "predmatrix", "predvfr"}
 
 // TestGoldenFiles runs each golden experiment through the parallel engine
 // and compares the JSON byte-for-byte with the file under testdata/.

@@ -52,6 +52,59 @@ type Canonicaler interface {
 	CanonicalFingerprint() string
 }
 
+// Struct renders a struct value in the standard canonical form —
+// {name:value;...}, exported fields sorted by name — omitting any field
+// named in omitZero that holds its zero value. It exists for Canonicaler
+// implementations on growing config structs: rendering a new field only
+// when it is set keeps every fingerprint computed before the field existed
+// valid (the default encodes exactly as it always did), while non-default
+// values still content-address. Fields render through canonicalValue, so
+// nested Canonicalers apply; the receiver's own Canonicaler is not
+// re-invoked (no recursion).
+func Struct(v any, omitZero ...string) string {
+	rv := reflect.ValueOf(v)
+	if rv.Kind() != reflect.Struct {
+		panic(fmt.Sprintf("fingerprint: Struct requires a struct value, got %s", rv.Kind()))
+	}
+	t := rv.Type()
+	names := make([]string, 0, t.NumField())
+	for i := 0; i < t.NumField(); i++ {
+		if t.Field(i).IsExported() {
+			names = append(names, t.Field(i).Name)
+		}
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	for _, name := range names {
+		f, _ := t.FieldByName(name)
+		fv := rv.FieldByIndex(f.Index)
+		if omitted(name, fv, omitZero) {
+			continue
+		}
+		if !first {
+			b.WriteByte(';')
+		}
+		first = false
+		b.WriteString(name)
+		b.WriteByte(':')
+		canonicalValue(fv, &b)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// omitted reports whether a field named in omitZero holds its zero value.
+func omitted(name string, fv reflect.Value, omitZero []string) bool {
+	for _, n := range omitZero {
+		if n == name {
+			return fv.IsZero()
+		}
+	}
+	return false
+}
+
 // canonicalValue writes a deterministic, name-keyed rendering of v.
 // Structs encode as {name:value;...} with names sorted, so declaration
 // order never matters; maps sort their keys; slices and arrays keep

@@ -142,6 +142,13 @@ type ThreadFeedback struct {
 	IQPosn    int // min distance-from-head of the thread's oldest IQ entry
 	// across both queues (large = far from head = good);
 	// threads with no queued instructions report a large value
+
+	// LowConf counts the thread's in-flight low-confidence conditional
+	// branches, as estimated by the branch predictor at fetch. BRCOUNT
+	// weighted by confidence: a custom policy can deprioritize threads
+	// likely to be fetching down a wrong path without charging them for
+	// well-predicted branches.
+	LowConf int
 }
 
 // FetchOrder fills out with all thread ids in priority order (best first)

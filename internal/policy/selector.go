@@ -45,6 +45,7 @@ type FeedbackNeeds struct {
 	BrCount   bool
 	MissCount bool
 	IQPosn    bool
+	LowConf   bool
 }
 
 // FeedbackNeedsReader is an optional FetchSelector refinement declaring
@@ -60,7 +61,7 @@ func FeedbackNeedsOf(s FetchSelector) FeedbackNeeds {
 	if r, ok := s.(FeedbackNeedsReader); ok {
 		return r.FeedbackNeeds()
 	}
-	return FeedbackNeeds{ICount: true, BrCount: true, MissCount: true, IQPosn: ReadsQueuePositions(s)}
+	return FeedbackNeeds{ICount: true, BrCount: true, MissCount: true, IQPosn: ReadsQueuePositions(s), LowConf: true}
 }
 
 // fetchFunc is the standard FetchSelector shape: rotation order, then a
@@ -109,7 +110,7 @@ func (s *fetchFunc) Order(rrBase int, fb []ThreadFeedback, out []int) []int {
 // built-ins declare tighter FeedbackNeeds at registration.
 func NewFetchSelector(name string, less func(a, b ThreadFeedback) bool, readsQueuePositions bool) FetchSelector {
 	return &fetchFunc{name: name, less: less,
-		needs: FeedbackNeeds{ICount: true, BrCount: true, MissCount: true, IQPosn: readsQueuePositions}}
+		needs: FeedbackNeeds{ICount: true, BrCount: true, MissCount: true, IQPosn: readsQueuePositions, LowConf: true}}
 }
 
 // IssueSelector is the issue-policy extension point: a strict weak ordering

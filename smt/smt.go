@@ -41,7 +41,9 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"repro/internal/branch"
 	"repro/internal/core"
+	"repro/internal/isa"
 	"repro/internal/mem"
 	"repro/internal/policy"
 	"repro/internal/workload"
@@ -144,6 +146,87 @@ func FetchPolicyFunc(name string, less func(a, b ThreadFeedback) bool, readsQueu
 // last). readsOptimism declares whether less consults IssueInfo.Optimistic.
 func IssuePolicyFunc(name string, less func(a, b IssueInfo) bool, readsOptimism bool) IssueSelector {
 	return policy.NewIssueSelector(name, less, readsOptimism)
+}
+
+// Branch-predictor extension points, re-exported from the internal branch
+// layer. Like policies, predictors are named, registered strategies:
+// Config.Branch.Predictor carries the name, and a registered name works
+// everywhere — experiment grids, CLI flags, smtd inline-grid configs, and
+// the content-addressed result cache.
+type (
+	// BranchConfig parameterizes the branch-prediction hardware
+	// (Config.Branch); its Predictor field names the registered scheme.
+	BranchConfig = branch.Config
+	// BranchPredictor is the full predictor interface a registered builder
+	// returns: direction + confidence, BTB targets, speculative history and
+	// return-stack checkpointing, and commit-time training.
+	BranchPredictor = branch.Predictor
+	// PredictorBuilder constructs a BranchPredictor for a validated config.
+	PredictorBuilder = branch.Builder
+	// DirEngine is the reduced surface most custom predictors want: just
+	// the conditional direction guess (with confidence) and its training
+	// step. NewComposedPredictor wraps one in the standard BTB/RAS frame.
+	DirEngine = branch.DirEngine
+	// RASCheckpoint snapshots return-stack state for squash-restore.
+	RASCheckpoint = branch.RASCheckpoint
+	// InstrClass is the instruction classification predictors see at
+	// training time (ClassBranch, ClassCall, ...).
+	InstrClass = isa.Class
+)
+
+// Built-in branch predictor names (Config.Branch.Predictor). Each also
+// registers ".rasonly" (no BTB fallback for returns) and ".noret" (no
+// return address stack) variants, e.g. "gshare.noret".
+const (
+	// PredGshare is McFarling's gshare, the paper's scheme (default).
+	PredGshare = branch.Gshare
+	// PredSmiths is Smith's bimodal predictor: 2-bit counters, no history.
+	PredSmiths = branch.Smiths
+	// PredStatic is backward-taken/forward-not-taken.
+	PredStatic = branch.Static
+	// PredGskewed is the three-bank skewed-index majority-vote predictor.
+	PredGskewed = branch.Gskewed
+	// PredNone predicts every conditional branch not-taken.
+	PredNone = branch.None
+	// PredPerfect is oracle prediction (equivalent to PerfectBranchPred).
+	PredPerfect = branch.Perfect
+)
+
+// Instruction classes predictors may receive in Update.
+const (
+	ClassBranch  = isa.ClassBranch
+	ClassJump    = isa.ClassJump
+	ClassJumpInd = isa.ClassJumpInd
+	ClassCall    = isa.ClassCall
+	ClassReturn  = isa.ClassReturn
+)
+
+// RegisterPredictor adds a custom branch predictor to the global registry.
+// Once registered, the name is valid in Config.Branch.Predictor. Names are
+// permanent within a process; registering a taken name fails. Predictor
+// implementations must be deterministic and allocation-free in their
+// predict/update paths — they run on the simulator's zero-allocation cycle
+// loop.
+func RegisterPredictor(name string, b PredictorBuilder) error { return branch.Register(name, b) }
+
+// Predictors returns every registered predictor name in registration order
+// (the built-ins and their return-stack variants first, then caller
+// registrations).
+func Predictors() []string { return branch.Names() }
+
+// LookupPredictor resolves a registered predictor name.
+func LookupPredictor(name string) (PredictorBuilder, bool) { return branch.Lookup(name) }
+
+// NewComposedPredictor builds a predictor from cfg's standard frame
+// (thread-tagged BTB, per-thread history registers and return stacks)
+// around a custom direction engine — the common case for registering a new
+// scheme:
+//
+//	smt.RegisterPredictor("hybrid", func(cfg smt.BranchConfig) (smt.BranchPredictor, error) {
+//	    return smt.NewComposedPredictor(cfg, newHybridEngine(cfg))
+//	})
+func NewComposedPredictor(cfg BranchConfig, dir DirEngine) (BranchPredictor, error) {
+	return branch.NewComposed(cfg, dir)
 }
 
 // DefaultConfig returns the paper's baseline SMT machine with the given
