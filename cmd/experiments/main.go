@@ -13,6 +13,7 @@
 //	experiments -fetch ICOUNT,ICOUNT+BRCOUNT -threads 8 -nfetch 2
 //	experiments -predictors
 //	experiments -predictor gshare,gskewed,smiths -threads 8
+//	experiments -experiment all -snapshot-dir ~/.cache/smt-snapshots
 //
 // Output is bit-identical for every -parallel value: each simulation's seed
 // derives from its rotation index, never from scheduling order — and all
@@ -35,6 +36,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/exp"
+	"repro/internal/snapshot"
 	"repro/smt"
 )
 
@@ -57,6 +59,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		measure    = fs.Int64("measure", 60000, "measured instructions per thread")
 		seed       = fs.Uint64("seed", 1, "workload seed")
 		cacheSize  = fs.Int("cache", 1024, "max job results reused across experiments (0 disables)")
+		snapDir    = fs.String("snapshot-dir", "", "durable warmup-checkpoint directory: grid points sharing (workloads, rotation, seed, warmup) restore warmed machine state instead of re-simulating warmup, across runs of this command")
+		replay     = fs.Bool("replay", true, "pre-decode each workload rotation once and replay the shared trace in every configuration's fetch path")
 
 		// Ad-hoc policy comparison: any registered fetch policies —
 		// built-ins, composites, or custom registrations — head to head,
@@ -190,6 +194,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		// configurations shared between grids (baselines, repeated points)
 		// simulate once. Determinism makes reuse invisible in the output.
 		runner.Cache = cache.New[smt.Results](*cacheSize)
+	}
+	if *snapDir != "" {
+		// Warmup checkpoints persist to disk (content-addressed, checksummed;
+		// a corrupt file is a cold miss), so grid points across experiments
+		// and across invocations of this command share warmed machine state.
+		disk, err := cache.NewDisk[[]byte](*snapDir)
+		if err != nil {
+			fmt.Fprintln(stderr, "experiments:", err)
+			return 1
+		}
+		runner.Snapshots = snapshot.NewStore(disk)
+	}
+	if *replay {
+		runner.Traces = snapshot.NewTraceCache(0)
 	}
 
 	// emit routes every result — registry or ad-hoc — through one output

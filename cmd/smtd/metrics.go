@@ -39,6 +39,34 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		gauge(&b, "smtd_cache_peer_members", "Coordinators in the federation ring (self included).", float64(len(ps.Members)))
 	}
 
+	// Warmup-checkpoint store and its tiers, plus the trace cache.
+	ss := s.snapshots.Stats()
+	counter(&b, "smtd_snapshot_hits_total", "Warmup checkpoints restored instead of re-simulated.", float64(ss.Hits))
+	counter(&b, "smtd_snapshot_misses_total", "Warmup checkpoint probes that ran cold.", float64(ss.Misses))
+	counter(&b, "smtd_snapshot_puts_total", "Warmup checkpoints stored after cold warmups.", float64(ss.Puts))
+	counter(&b, "smtd_snapshot_bytes_loaded_total", "Snapshot bytes served by checkpoint restores.", float64(ss.BytesLoaded))
+	counter(&b, "smtd_snapshot_bytes_stored_total", "Snapshot bytes written by checkpoint fills.", float64(ss.BytesStored))
+	sms := s.snapMem.Stats()
+	gauge(&b, "smtd_snapshot_memory_entries", "Checkpoints held in the snapshot memory tier.", float64(sms.Len))
+	counter(&b, "smtd_snapshot_memory_evictions_total", "Snapshot memory-tier LRU evictions.", float64(sms.Evictions))
+	if s.snapDisk != nil {
+		ds := s.snapDisk.Stats()
+		counter(&b, "smtd_snapshot_disk_hits_total", "Snapshot disk-tier hits.", float64(ds.Hits))
+		counter(&b, "smtd_snapshot_disk_corrupt_total", "Snapshot disk entries dropped as corrupt (served as cold misses).", float64(ds.Corrupt))
+		gauge(&b, "smtd_snapshot_disk_entries", "Checkpoints held in the durable snapshot tier.", float64(ds.Entries))
+	}
+	if s.snapFed != nil {
+		ps := s.snapFed.Stats()
+		counter(&b, "smtd_snapshot_peer_hits_total", "Local snapshot misses served by the key's owning peer.", float64(ps.PeerHits))
+		counter(&b, "smtd_snapshot_peer_fills_total", "Snapshot fills forwarded to the key's owning peer.", float64(ps.PeerFills))
+	}
+	ts := s.traces.Stats()
+	counter(&b, "smtd_trace_builds_total", "Workload rotations pre-decoded into shared traces.", float64(ts.Builds))
+	counter(&b, "smtd_trace_reuses_total", "Trace lookups served by an existing shared build.", float64(ts.Reuses))
+	counter(&b, "smtd_trace_evictions_total", "Trace sets evicted by the byte budget.", float64(ts.Evictions))
+	gauge(&b, "smtd_trace_entries", "Trace sets currently cached.", float64(ts.Entries))
+	gauge(&b, "smtd_trace_bytes", "Bytes of pre-decoded trace records currently cached.", float64(ts.Bytes))
+
 	// Sweeps.
 	s.mu.Lock()
 	var running, done, failed, jobsDone, sweepHits int

@@ -8,14 +8,17 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"path/filepath"
 	"runtime"
 	"runtime/debug"
 	"sort"
+	"strings"
 	"sync"
 
 	"repro/internal/cache"
 	"repro/internal/dist"
 	"repro/internal/exp"
+	"repro/internal/snapshot"
 	"repro/smt"
 )
 
@@ -42,6 +45,20 @@ type Server struct {
 	flight  *cache.Flight[smt.Results]    // top + in-flight dedup, what runners consult
 	sem     chan struct{}                 // local simulation slots, shared by every sweep
 	coord   *dist.Coordinator             // execution backend: remote workers, local fallback
+
+	// Warmup checkpoints ride a parallel byte-typed tier stack with the
+	// same shape as the result stack (memory always; disk under -cache-dir;
+	// federation across -peers), shared by every sweep and served to
+	// distributed workers through the "snap:"-prefixed half of the
+	// /v1/cache keyspace. snapshots is the counting wrapper every runner
+	// consults; traces is the sweep-shared pre-decoded trace cache.
+	snapMem   *cache.Store[[]byte]
+	snapDisk  *cache.Disk[[]byte]
+	snapFed   *cache.Federated[[]byte]
+	snapLocal cache.Getter[[]byte] // this node's snapshot tiers only
+	snapTop   cache.Getter[[]byte] // full snapshot stack (local, or federated)
+	snapshots *snapshot.Store
+	traces    *snapshot.TraceCache
 
 	mu         sync.Mutex
 	sweeps     map[string]*sweep
@@ -88,6 +105,11 @@ type jobProgress struct {
 // defaultMaxHistory bounds how many finished sweeps (with their encoded
 // results) the service retains; running sweeps are never evicted.
 const defaultMaxHistory = 64
+
+// snapMemEntries bounds the in-memory snapshot LRU. A serialized warmed
+// machine runs hundreds of KB, so unlike results the memory tier must cap
+// low; the disk tier (when configured) holds the long tail.
+const snapMemEntries = 128
 
 // ServerOptions configures a Server beyond the basic knobs.
 type ServerOptions struct {
@@ -139,11 +161,13 @@ func NewServerWith(opts ServerOptions) (*Server, error) {
 	s := &Server{
 		workers:    n,
 		mem:        cache.New[smt.Results](opts.CacheSize),
+		snapMem:    cache.New[[]byte](snapMemEntries),
 		sem:        sem,
 		sweeps:     make(map[string]*sweep),
 		maxHistory: defaultMaxHistory,
 	}
 	s.local = s.mem
+	s.snapLocal = s.snapMem
 	if opts.CacheDir != "" {
 		disk, err := cache.NewDisk[smt.Results](opts.CacheDir)
 		if err != nil {
@@ -151,15 +175,32 @@ func NewServerWith(opts ServerOptions) (*Server, error) {
 		}
 		s.disk = disk
 		s.local = cache.NewTiered(s.mem, disk)
+		// Snapshots get their own directory under the cache dir: same
+		// durability story (atomic content-addressed files, rescanned on
+		// boot, corrupt reads served as misses), different value type.
+		snapDisk, err := cache.NewDisk[[]byte](filepath.Join(opts.CacheDir, "snapshots"))
+		if err != nil {
+			return nil, fmt.Errorf("durable snapshot cache: %w", err)
+		}
+		s.snapDisk = snapDisk
+		s.snapLocal = cache.NewTiered(s.snapMem, snapDisk)
 	}
 	s.top = s.local
+	s.snapTop = s.snapLocal
 	if len(opts.Peers) > 0 {
 		s.fed = cache.NewFederated[smt.Results](s.local, opts.Self, opts.Peers, opts.PeerClient)
 		s.top = s.fed
+		s.snapFed = cache.NewFederated[[]byte](s.snapLocal, opts.Self, opts.Peers, opts.PeerClient)
+		s.snapTop = s.snapFed
 	}
 	// In-flight dedup on top of the stack: concurrent identical sweeps
 	// compute each overlapping job once, the rest wait and take the hit.
 	s.flight = cache.NewFlight[smt.Results](s.top)
+	// No singleflight for snapshots: a duplicated warmup fill is idempotent
+	// and rare (runners probe before warming), while a dedup barrier would
+	// serialize unrelated sweeps behind one warmup.
+	s.snapshots = snapshot.NewStore(s.snapTop)
+	s.traces = snapshot.NewTraceCache(0)
 	// The coordinator is every sweep's execution backend. With no
 	// workers registered it runs jobs in-process under the same
 	// semaphore the pre-distribution service used, so a standalone
@@ -170,6 +211,10 @@ func NewServerWith(opts ServerOptions) (*Server, error) {
 	s.coord = dist.NewCoordinator(dist.Options{
 		LocalSlots:  sem,
 		ServesCache: true,
+		// The local fallback runs the same warm kernel the sweep runners
+		// use, so jobs that land in-process still restore checkpoints and
+		// replay traces.
+		Exec: dist.SimulateJobWarm(exp.WarmEnv{Snapshots: s.snapshots, Traces: s.traces}),
 	})
 	return s, nil
 }
@@ -296,6 +341,9 @@ func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
 const (
 	maxCachePutBody = 8 << 20
 	maxSweepBody    = 8 << 20
+	// Snapshot fills carry a full serialized machine (base64 inside JSON),
+	// which dwarfs a results object; cap them separately.
+	maxSnapPutBody = 64 << 20
 )
 
 // handleCacheGet peeks one content-addressed result. Workers call it
@@ -305,8 +353,24 @@ const (
 // federated lookups are single-hop by construction (see cache.PeerHeader).
 func (s *Server) handleCacheGet(w http.ResponseWriter, r *http.Request) {
 	key := r.PathValue("key")
+	peer := r.Header.Get(cache.PeerHeader) != ""
+	// The keyspace is split by prefix: "snap:" keys are warmup checkpoints
+	// (opaque bytes in the snapshot tiers), everything else is a result.
+	if strings.HasPrefix(key, snapshot.KeyPrefix) {
+		tier := s.snapTop
+		if peer {
+			tier = s.snapLocal
+		}
+		data, ok := tier.Get(key)
+		if !ok {
+			writeError(w, http.StatusNotFound, "no cached snapshot for %q", key)
+			return
+		}
+		writeJSON(w, http.StatusOK, data)
+		return
+	}
 	tier := s.top
-	if r.Header.Get(cache.PeerHeader) != "" {
+	if peer {
 		tier = s.local
 	}
 	res, ok := tier.Get(key)
@@ -325,14 +389,29 @@ func (s *Server) handleCacheGet(w http.ResponseWriter, r *http.Request) {
 // inside a trusted cluster, not on the open internet. Peer-marked fills
 // land in the local tiers only (single-hop, as in handleCacheGet).
 func (s *Server) handleCachePut(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	peer := r.Header.Get(cache.PeerHeader) != ""
+	if strings.HasPrefix(key, snapshot.KeyPrefix) {
+		var data []byte
+		if !decodeBody(w, r, &data, maxSnapPutBody, "snapshot") {
+			return
+		}
+		if peer {
+			s.snapLocal.Put(key, data)
+		} else {
+			s.snapTop.Put(key, data)
+		}
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
 	var res smt.Results
 	if !decodeBody(w, r, &res, maxCachePutBody, "result") {
 		return
 	}
-	if r.Header.Get(cache.PeerHeader) != "" {
-		s.local.Put(r.PathValue("key"), res)
+	if peer {
+		s.local.Put(key, res)
 	} else {
-		s.top.Put(r.PathValue("key"), res)
+		s.top.Put(key, res)
 	}
 	w.WriteHeader(http.StatusNoContent)
 }
@@ -611,10 +690,12 @@ func (s *Server) startSweep(e exp.Experiment, o exp.Opts, totalJobs int, interva
 	// remotely.
 	pool := s.workers + s.coord.Capacity()
 	runner := exp.Runner{
-		Workers:  pool,
-		Cache:    s.flight,
-		Dispatch: s.coord,
-		Interval: interval,
+		Workers:   pool,
+		Cache:     s.flight,
+		Dispatch:  s.coord,
+		Snapshots: s.snapshots,
+		Traces:    s.traces,
+		Interval:  interval,
 		OnJobDone: func(j exp.Job, r smt.Results, fromCache bool) {
 			s.mu.Lock()
 			defer s.mu.Unlock()
@@ -803,8 +884,19 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 // blocks for the durable and federation layers when configured.
 type cacheStatus struct {
 	cache.Stats
-	Disk  *cache.DiskStats `json:"disk,omitempty"`
-	Peers *cache.PeerStats `json:"peers,omitempty"`
+	Disk      *cache.DiskStats    `json:"disk,omitempty"`
+	Peers     *cache.PeerStats    `json:"peers,omitempty"`
+	Snapshots *snapshotTierStatus `json:"snapshots,omitempty"`
+}
+
+// snapshotTierStatus reports the warmup-checkpoint stack: the counting
+// store's traffic, each configured tier beneath it, and the trace cache.
+type snapshotTierStatus struct {
+	snapshot.Stats
+	Memory cache.Stats         `json:"memory"`
+	Disk   *cache.DiskStats    `json:"disk,omitempty"`
+	Peers  *cache.PeerStats    `json:"peers,omitempty"`
+	Traces snapshot.TraceStats `json:"traces"`
 }
 
 func (s *Server) handleCache(w http.ResponseWriter, r *http.Request) {
@@ -817,6 +909,20 @@ func (s *Server) handleCache(w http.ResponseWriter, r *http.Request) {
 		ps := s.fed.Stats()
 		st.Peers = &ps
 	}
+	snap := &snapshotTierStatus{
+		Stats:  s.snapshots.Stats(),
+		Memory: s.snapMem.Stats(),
+		Traces: s.traces.Stats(),
+	}
+	if s.snapDisk != nil {
+		ds := s.snapDisk.Stats()
+		snap.Disk = &ds
+	}
+	if s.snapFed != nil {
+		ps := s.snapFed.Stats()
+		snap.Peers = &ps
+	}
+	st.Snapshots = snap
 	writeJSON(w, http.StatusOK, st)
 }
 

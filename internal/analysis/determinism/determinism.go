@@ -41,6 +41,7 @@ var ResultAffecting = []string{
 	"internal/branch",
 	"internal/workload",
 	"internal/fingerprint",
+	"internal/snapshot",
 	"smt",
 }
 

@@ -14,7 +14,7 @@ import (
 // threadState is one hardware context.
 type threadState struct {
 	id     int
-	walker *workload.Walker
+	walker workload.InstrSource
 	prog   *workload.Program
 
 	fetchPC           int64

@@ -89,6 +89,17 @@ func SimulateJob(p JobPayload, onSnap func(smt.Snapshot)) smt.Results {
 	return exp.Simulate(p.Config, p.Run, p.Seed, exp.Opts{Runs: 1, Warmup: p.Warmup, Measure: p.Measure, Seed: p.Seed}, p.Interval, onSnap)
 }
 
+// SimulateJobWarm is SimulateJob through a warm-acceleration environment:
+// the same kernel with warmup checkpointing and/or trace replay layered in.
+// Workers configured with a snapshot store or trace cache run through it;
+// the determinism contract is unchanged because the warm kernel is
+// byte-identical to the cold one for every environment.
+func SimulateJobWarm(env exp.WarmEnv) Exec {
+	return func(p JobPayload, onSnap func(smt.Snapshot)) smt.Results {
+		return exp.SimulateEnv(p.Config, p.Run, p.Seed, exp.Opts{Runs: 1, Warmup: p.Warmup, Measure: p.Measure, Seed: p.Seed}, p.Interval, onSnap, env)
+	}
+}
+
 // RegisterRequest announces a worker to the coordinator.
 type RegisterRequest struct {
 	Name  string `json:"name"`            // display name, e.g. the worker's hostname

@@ -15,6 +15,8 @@ import (
 	"time"
 
 	"repro/internal/cache"
+	"repro/internal/exp"
+	"repro/internal/snapshot"
 	"repro/smt"
 )
 
@@ -49,13 +51,29 @@ type WorkerOptions struct {
 	// Prefetched leases are covered by heartbeats like running ones, and
 	// worker death requeues them exactly the same way.
 	Prefetch int
-	// Exec runs one job payload; default SimulateJob.
+	// Exec runs one job payload; default SimulateJob (routed through the
+	// warm layers below when any are configured).
 	Exec Exec
 	// Cache, when non-nil, is peeked before simulating and filled after.
 	// When nil and the coordinator advertises a cache, a
 	// cache.Remote[smt.Results] against the coordinator is used
 	// automatically — the shared-cache path needs no configuration.
 	Cache ResultCache
+	// Snapshots, when non-nil, checkpoints warmup state for the default
+	// executor: jobs whose (config, rotation, seed, warmup) checkpoint is
+	// stored restore it instead of re-simulating the warmup, and cold
+	// warmups fill the store. Ignored when Exec is set.
+	Snapshots exp.SnapshotStore
+	// SnapshotsFromCoordinator, when Snapshots is nil and the coordinator
+	// advertises a cache, shares warmup checkpoints through the
+	// coordinator's /v1/cache endpoint (the same channel result peeks use):
+	// one worker's cold warmup becomes every worker's restore. Ignored when
+	// Exec is set.
+	SnapshotsFromCoordinator bool
+	// Traces, when non-nil, replays pre-decoded instruction traces in the
+	// default executor's fetch path, one build per rotation shared across
+	// this worker's slots. Ignored when Exec is set.
+	Traces *snapshot.TraceCache
 	// Client is the HTTP client used for every coordinator call,
 	// including long polls — so a custom client's Timeout must exceed the
 	// coordinator's PollWait. When nil, ordinary calls get a 30s-timeout
@@ -96,11 +114,12 @@ type Worker struct {
 	// Run before any executor starts.
 	results chan TaskResult
 
-	mu       sync.Mutex
-	id       string
-	leaseTTL time.Duration
-	pollWait time.Duration
-	cache    ResultCache
+	mu        sync.Mutex
+	id        string
+	leaseTTL  time.Duration
+	pollWait  time.Duration
+	cache     ResultCache
+	snapshots exp.SnapshotStore
 	done     int64 // jobs whose results were delivered (simulated or cache-served)
 	fatal    error // permanent rejection observed mid-run (build mismatch)
 }
@@ -126,9 +145,6 @@ func NewWorker(opts WorkerOptions) *Worker {
 	} else if opts.Prefetch < 0 {
 		opts.Prefetch = 0
 	}
-	if opts.Exec == nil {
-		opts.Exec = SimulateJob
-	}
 	if opts.Backoff <= 0 {
 		opts.Backoff = 500 * time.Millisecond
 	}
@@ -152,7 +168,25 @@ func NewWorker(opts WorkerOptions) *Worker {
 		pollClient: pollClient,
 		logf:       logf,
 		cache:      opts.Cache,
+		snapshots:  opts.Snapshots,
 	}
+}
+
+// exec resolves the executor for one job: an explicit Exec verbatim, else
+// the canonical kernel through whatever warm layers are configured right
+// now — the snapshot store may have been auto-built at (re-)registration,
+// so the binding is per-job, not per-worker.
+func (w *Worker) exec() Exec {
+	if w.opts.Exec != nil {
+		return w.opts.Exec
+	}
+	w.mu.Lock()
+	snaps := w.snapshots
+	w.mu.Unlock()
+	if snaps == nil && w.opts.Traces == nil {
+		return SimulateJob
+	}
+	return SimulateJobWarm(exp.WarmEnv{Snapshots: snaps, Traces: w.opts.Traces})
 }
 
 // ID returns the coordinator-assigned worker id ("" before registration).
@@ -288,6 +322,12 @@ func (w *Worker) registerOnce(ctx context.Context) error {
 	w.pollWait = time.Duration(reg.PollWaitMS) * time.Millisecond
 	if w.cache == nil && reg.CacheEnabled {
 		w.cache = cache.NewRemote[smt.Results](w.base, w.client)
+	}
+	if w.snapshots == nil && w.opts.SnapshotsFromCoordinator && reg.CacheEnabled {
+		// Warmup checkpoints ride the same content-addressed endpoint as
+		// result peeks; snapshot.Key's "snap:" prefix routes them to the
+		// coordinator's byte-typed snapshot tiers.
+		w.snapshots = snapshot.NewStore(cache.NewRemote[[]byte](w.base, w.client))
 	}
 	w.mu.Unlock()
 	w.logf("dist: registered with %s as %s (%d slots)", w.base, reg.WorkerID, w.opts.Slots)
@@ -538,7 +578,7 @@ func (w *Worker) execute(ctx context.Context, asg Assignment) {
 	if p.Interval > 0 {
 		onSnap = func(s smt.Snapshot) { w.postSnapshot(asg, s) }
 	}
-	res := w.opts.Exec(p, onSnap)
+	res := w.exec()(p, onSnap)
 	if c != nil {
 		// Fill even though the result post also lands in the coordinator's
 		// cache: if our lease expired mid-run the post is discarded, but

@@ -57,7 +57,7 @@ func Measure(cfg smt.Config, o Opts) Point {
 	var ipcSum float64
 	var last smt.Results
 	for run := 0; run < o.Runs; run++ {
-		res := runOne(cfg, run, JobSeed(o.Seed, run), o, 0, nil)
+		res := runOne(cfg, run, JobSeed(o.Seed, run), o, 0, nil, WarmEnv{})
 		ipcSum += res.IPC
 		last = res
 	}

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/fingerprint"
 	"repro/internal/policy"
+	"repro/internal/snapshot"
 )
 
 // policyPairOpts are the frozen budgets behind the policy-pair hash file.
@@ -89,5 +90,73 @@ func TestPolicyPairFingerprints(t *testing.T) {
 		if _, ok := got[pair]; !ok {
 			t.Errorf("pair %s in %s no longer registered", pair, path)
 		}
+	}
+}
+
+// TestPolicyPairFingerprintsWarm re-runs the frozen-hash sweep through the
+// acceleration layers — pre-decoded trace replay plus warmup checkpoints,
+// with a second pass that restores every pair's warmup from the shared
+// store — and pins the results to the SAME golden hashes as the cold sweep.
+// This is the subsystem's acceptance gate: checkpointing and replay must be
+// invisible in every simulated bit across every built-in policy pair.
+func TestPolicyPairFingerprintsWarm(t *testing.T) {
+	if *update {
+		t.Skip("golden file is owned by TestPolicyPairFingerprints")
+	}
+	raw, err := os.ReadFile(filepath.Join("testdata", "policy_pairs.golden.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{}
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatal(err)
+	}
+
+	fetches := policy.FetchNames()
+	issues := policy.IssueNames()
+	sort.Strings(fetches)
+	sort.Strings(issues)
+	o := policyPairOpts()
+	pairs := len(fetches) * len(issues)
+
+	store := snapshot.NewStore(newMapSnapshots())
+	env := WarmEnv{Snapshots: store, Traces: snapshot.NewTraceCache(0)}
+
+	// Pass 1 fills the snapshot store cold; pass 2 restores every warmup.
+	// Both passes must reproduce the frozen hashes exactly.
+	for pass := 0; pass < 2; pass++ {
+		type result struct {
+			pair, hash string
+		}
+		ch := make(chan result)
+		for _, f := range fetches {
+			for _, is := range issues {
+				f, is := f, is
+				go func() {
+					cfg := MustFetchScheme(4, f, 2, 8)
+					cfg.IssuePolicy = policy.IssueAlg(is)
+					res := SimulateEnv(cfg, 0, o.Seed, o, 0, nil, env)
+					ch <- result{f + "/" + is, fingerprint.Of(res)}
+				}()
+			}
+		}
+		for i := 0; i < pairs; i++ {
+			r := <-ch
+			if want[r.pair] == "" {
+				t.Errorf("pass %d: pair %s missing from golden file", pass, r.pair)
+				continue
+			}
+			if r.hash != want[r.pair] {
+				t.Errorf("pass %d: pair %s drifted under checkpoint+replay: got %s want %s",
+					pass, r.pair, r.hash, want[r.pair])
+			}
+		}
+	}
+	st := store.Stats()
+	if st.Misses != int64(pairs) || st.Puts != int64(pairs) || st.Hits != int64(pairs) {
+		t.Errorf("store stats = %+v, want %d cold fills then %d restores", st, pairs, pairs)
+	}
+	if ts := env.Traces.Stats(); ts.Builds != 1 {
+		t.Errorf("trace cache stats = %+v, want one shared rotation build", ts)
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/snapshot"
 	"repro/smt"
 )
 
@@ -40,8 +41,28 @@ func JobSeed(base uint64, run int) uint64 {
 // cache entry.
 func (j Job) Key(o Opts) string {
 	o = o.Normalized()
+	return j.keyFor(o, JobSeed(o.Seed, j.Run))
+}
+
+// keyFor is Key with the rotation seed already derived — the sweep-level
+// path, where RunExperiment hoists the per-rotation derivation to setup so
+// result keys, snapshot keys, and trace builds all consume one canonical
+// seed instead of re-deriving it per grid point.
+func (j Job) keyFor(o Opts, seed uint64) string {
 	return fmt.Sprintf("%s:r%d:s%d:w%d:m%d",
-		j.Spec.Config.Fingerprint(), j.Run, JobSeed(o.Seed, j.Run), o.Warmup, o.Measure)
+		j.Spec.Config.Fingerprint(), j.Run, seed, o.Warmup, o.Measure)
+}
+
+// rotationSeeds derives every rotation's workload seed once, at sweep
+// setup. Each job then receives seeds[j.Run] instead of deriving its own,
+// so the three consumers of a rotation seed — the result cache key, the
+// snapshot key, and the trace build — cannot drift apart.
+func rotationSeeds(o Opts) []uint64 {
+	seeds := make([]uint64, o.Runs)
+	for run := range seeds {
+		seeds[run] = JobSeed(o.Seed, run)
+	}
+	return seeds
 }
 
 // JobCache is the pluggable per-job result store the runner consults
@@ -83,6 +104,33 @@ type Dispatcher interface {
 	Dispatch(ctx context.Context, j Job, o Opts, interval int64, onSnap func(smt.Snapshot)) (smt.Results, error)
 }
 
+// SnapshotStore is the pluggable warmup-checkpoint store the runner (and
+// the distributed worker) probes before warming a machine and fills after
+// a cold warmup. Implementations must be safe for concurrent use; the
+// []byte-typed internal/cache tiers satisfy it, as does the counting
+// wrapper internal/snapshot.Store.
+type SnapshotStore interface {
+	Get(key string) ([]byte, bool)
+	Put(key string, data []byte)
+}
+
+// WarmEnv carries the optional sweep-acceleration layers into the
+// measurement kernel. The zero value disables both; either field works
+// alone. Neither layer changes result bytes — restored and replayed runs
+// are byte-identical to cold runs by construction.
+type WarmEnv struct {
+	// Snapshots checkpoints warmed machine state under
+	// snapshot.Key(fingerprint, rotation, seed, warmup): a hit restores
+	// the machine past its entire warmup, a miss warms cold and fills the
+	// store for every later run sharing the key.
+	Snapshots SnapshotStore
+	// Traces pre-decodes each rotation's workloads once and replays the
+	// shared trace in every configuration's fetch path.
+	Traces *snapshot.TraceCache
+}
+
+func (env WarmEnv) enabled() bool { return env.Snapshots != nil || env.Traces != nil }
+
 // Simulate executes one job's measurement kernel in-process: build the
 // machine, warm it, measure, optionally streaming interval snapshots. It
 // is the exact function every execution path funnels through — serial
@@ -91,7 +139,14 @@ type Dispatcher interface {
 // them. Only cfg, rotation, seed, and the o.Warmup/o.Measure budgets
 // affect the returned results.
 func Simulate(cfg smt.Config, rotation int, seed uint64, o Opts, interval int64, onSnap func(smt.Snapshot)) smt.Results {
-	return runOne(cfg, rotation, seed, o, interval, onSnap)
+	return runOne(cfg, rotation, seed, o, interval, onSnap, WarmEnv{})
+}
+
+// SimulateEnv is Simulate through a warm-acceleration environment: the
+// same kernel, with warmup checkpointing and/or trace replay layered in.
+// Results are byte-identical to Simulate's for every env.
+func SimulateEnv(cfg smt.Config, rotation int, seed uint64, o Opts, interval int64, onSnap func(smt.Snapshot), env WarmEnv) smt.Results {
+	return runOne(cfg, rotation, seed, o, interval, onSnap, env)
 }
 
 // runOne is the shared measurement kernel: build the machine, warm it, and
@@ -101,28 +156,76 @@ func Simulate(cfg smt.Config, rotation int, seed uint64, o Opts, interval int64,
 // snapshots to onSnap while the simulation advances; the streamed final
 // results are byte-identical to a blocking run, so streaming is invisible
 // to callers that only consume the return value.
-func runOne(cfg smt.Config, rotate int, seed uint64, o Opts, interval int64, onSnap func(smt.Snapshot)) smt.Results {
+//
+// With env.Traces the machine replays the rotation's pre-decoded trace;
+// with env.Snapshots the warmup phase is checkpointed: restore on a hit
+// (zero warmup cycles simulated), warm-and-save on a miss. Splitting
+// warmup and measurement into two sessions steps the identical cycle
+// sequence as the combined session — the warmup loop and statistics reset
+// happen at the same machine states — so every path commits the same bits.
+func runOne(cfg smt.Config, rotate int, seed uint64, o Opts, interval int64, onSnap func(smt.Snapshot), env WarmEnv) smt.Results {
 	spec := smt.WorkloadMix(cfg.Threads, rotate, seed)
-	sim := smt.MustNew(cfg, spec)
 	warmup := o.Warmup
 	if warmup < 0 {
 		warmup = 0 // historical behavior: a negative warmup skips warmup
 	}
-	sess, err := sim.Start(context.Background(), smt.RunSpec{
-		Warmup:         warmup * int64(cfg.Threads),
-		Instructions:   o.Measure * int64(cfg.Threads),
-		IntervalCycles: interval,
-	})
-	if err != nil {
-		panic(err) // unreachable: the simulator is freshly built and idle
-	}
-	for snap := range sess.Snapshots() {
-		if onSnap != nil {
-			onSnap(snap)
+
+	build := func() *smt.Simulator {
+		if env.Traces != nil {
+			// Size the pre-decoded prefix at each thread's expected share
+			// plus slack. Undersizing is safe — a replayed run that outlives
+			// its trace spills onto a live walker bit-identically — so this
+			// is a performance knob, not a correctness bound.
+			records := warmup + o.Measure
+			records += records>>3 + 1024
+			if ts, err := env.Traces.Get(spec, records); err == nil {
+				if sim, err := smt.NewReplay(cfg, ts); err == nil {
+					return sim
+				}
+			}
 		}
+		return smt.MustNew(cfg, spec)
 	}
-	res, _ := sess.Finish()
-	return res
+
+	measure := func(sim *smt.Simulator, warm int64) smt.Results {
+		sess, err := sim.Start(context.Background(), smt.RunSpec{
+			Warmup:         warm,
+			Instructions:   o.Measure * int64(cfg.Threads),
+			IntervalCycles: interval,
+		})
+		if err != nil {
+			panic(err) // unreachable: the simulator is freshly built and idle
+		}
+		for snap := range sess.Snapshots() {
+			if onSnap != nil {
+				onSnap(snap)
+			}
+		}
+		res, _ := sess.Finish()
+		return res
+	}
+
+	sim := build()
+	if env.Snapshots == nil || warmup == 0 {
+		return measure(sim, warmup*int64(cfg.Threads))
+	}
+
+	key := snapshot.Key(cfg.Fingerprint(), rotate, seed, warmup)
+	if data, ok := env.Snapshots.Get(key); ok {
+		if err := sim.RestoreSnapshot(data); err == nil {
+			return measure(sim, 0)
+		}
+		// A snapshot that fails to restore (version skew, corruption the
+		// storage tiers could not catch) leaves the machine undefined:
+		// rebuild and run cold, exactly as if the probe had missed.
+		sim = build()
+	}
+	sim.Warmup(warmup * int64(cfg.Threads))
+	if data, err := sim.SaveSnapshot(); err == nil {
+		// Unsaveable machines (custom predictors) just stay cold.
+		env.Snapshots.Put(key, data)
+	}
+	return measure(sim, 0)
 }
 
 // Runner executes experiment grids across a bounded worker pool.
@@ -173,6 +276,24 @@ type Runner struct {
 	// another runner's in-flight computation of the same key, consume no
 	// slot.
 	Sem chan struct{}
+
+	// Snapshots, when non-nil, checkpoints warmed machine state across the
+	// sweep (and, through a shared tier stack, across sweeps, restarts,
+	// and federation peers): cache-missed jobs restore a stored warmup
+	// instead of simulating it, and cold warmups fill the store. Mirrors
+	// the Cache/Dispatch seams — smtd, the distributed worker, and the
+	// CLI all plug the same interface. See WarmEnv.
+	Snapshots SnapshotStore
+
+	// Traces, when non-nil, pre-decodes each rotation's workloads once per
+	// sweep and replays the shared trace in every simulated job's fetch
+	// path. See WarmEnv.
+	Traces *snapshot.TraceCache
+}
+
+// warmEnv bundles the runner's acceleration seams for the kernel.
+func (r Runner) warmEnv() WarmEnv {
+	return WarmEnv{Snapshots: r.Snapshots, Traces: r.Traces}
 }
 
 func (r Runner) workers() int {
@@ -217,6 +338,10 @@ func (r Runner) RunExperiment(ctx context.Context, e Experiment, o Opts) (*Exper
 		return nil, err
 	}
 	results := make([]smt.Results, len(jobs))
+	// One canonical seed derivation per rotation, hoisted to sweep setup:
+	// result keys, snapshot keys, and trace builds all consume seeds[run]
+	// instead of re-deriving it independently at every grid point.
+	seeds := rotationSeeds(o)
 
 	// runCtx lets the first failing job stop its siblings without waiting
 	// for them to run their full budgets.
@@ -247,7 +372,7 @@ func (r Runner) RunExperiment(ctx context.Context, e Experiment, o Opts) (*Exper
 				if runCtx.Err() != nil {
 					continue // drain without working; the feeder is stopping
 				}
-				res, err := r.runJob(runCtx, jobs[i], o)
+				res, err := r.runJob(runCtx, jobs[i], o, seeds[jobs[i].Run])
 				if err != nil {
 					fail(err)
 					continue
@@ -283,10 +408,10 @@ feed:
 // occupies a slot that a distinct job could use. On any failure path —
 // semaphore wait cancelled, dispatch error — the job's cache leadership is
 // released (see keyForgetter) before the error is returned.
-func (r Runner) runJob(ctx context.Context, j Job, o Opts) (smt.Results, error) {
+func (r Runner) runJob(ctx context.Context, j Job, o Opts, seed uint64) (smt.Results, error) {
 	var key string
 	if r.Cache != nil {
-		key = j.Key(o)
+		key = j.keyFor(o, seed)
 		res, ok, err := r.cacheGet(ctx, key)
 		if err != nil {
 			return smt.Results{}, err // wait abandoned; no leadership taken
@@ -329,7 +454,7 @@ func (r Runner) runJob(ctx context.Context, j Job, o Opts) (smt.Results, error) 
 				return smt.Results{}, ctx.Err()
 			}
 		}
-		res = Simulate(j.Spec.Config, j.Run, JobSeed(o.Seed, j.Run), o, interval, onSnap)
+		res = SimulateEnv(j.Spec.Config, j.Run, seed, o, interval, onSnap, r.warmEnv())
 	}
 	if r.Cache != nil {
 		r.Cache.Put(key, res)

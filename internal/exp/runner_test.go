@@ -145,7 +145,7 @@ func TestRunnerAveragesRotations(t *testing.T) {
 	var want float64
 	for run := 0; run < o.Runs; run++ {
 		grid, _ := e.Grid()
-		r := runOne(grid[0].Config, run, JobSeed(o.Seed, run), o.Normalized(), 0, nil)
+		r := runOne(grid[0].Config, run, JobSeed(o.Seed, run), o.Normalized(), 0, nil, WarmEnv{})
 		want += r.IPC
 	}
 	want /= float64(o.Runs)

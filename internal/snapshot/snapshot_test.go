@@ -1,0 +1,123 @@
+package snapshot
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/smt"
+)
+
+func TestKeyShape(t *testing.T) {
+	key := Key("fp123", 3, 7, 30000)
+	want := fmt.Sprintf("snap:v%d:fp123:r3:s7:w30000", smt.SnapshotVersion)
+	if key != want {
+		t.Fatalf("Key = %q, want %q", key, want)
+	}
+	if !strings.HasPrefix(key, KeyPrefix) {
+		t.Fatalf("Key %q does not carry the routing prefix %q", key, KeyPrefix)
+	}
+	// The measure budget must never appear in the key: excluding it is
+	// what lets every measure-budget variant of a sweep share checkpoints.
+	if strings.Contains(key, "m") {
+		t.Fatalf("Key %q appears to encode a measure budget", key)
+	}
+}
+
+// mapBacking is the simplest Backing: an unbounded map.
+type mapBacking struct {
+	mu sync.Mutex
+	m  map[string][]byte
+}
+
+func (b *mapBacking) Get(key string) ([]byte, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	v, ok := b.m[key]
+	return v, ok
+}
+
+func (b *mapBacking) Put(key string, data []byte) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.m[key] = data
+}
+
+func TestStoreCountsTraffic(t *testing.T) {
+	s := NewStore(&mapBacking{m: map[string][]byte{}})
+	if _, ok := s.Get("a"); ok {
+		t.Fatal("empty store served a hit")
+	}
+	s.Put("a", []byte("12345"))
+	got, ok := s.Get("a")
+	if !ok || string(got) != "12345" {
+		t.Fatalf("Get after Put = %q, %v", got, ok)
+	}
+	st := s.Stats()
+	want := Stats{Hits: 1, Misses: 1, Puts: 1, BytesLoaded: 5, BytesStored: 5}
+	if st != want {
+		t.Fatalf("Stats = %+v, want %+v", st, want)
+	}
+}
+
+func TestTraceCacheSharesBuilds(t *testing.T) {
+	c := NewTraceCache(0)
+	spec := smt.WorkloadMix(2, 0, 1)
+	const goroutines = 8
+	var wg sync.WaitGroup
+	sets := make([]*smt.TraceSet, goroutines)
+	for i := range sets {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ts, err := c.Get(spec, 2000)
+			if err != nil {
+				t.Errorf("Get: %v", err)
+			}
+			sets[i] = ts
+		}(i)
+	}
+	wg.Wait()
+	for i, ts := range sets {
+		if ts != sets[0] {
+			t.Fatalf("goroutine %d got a different trace set pointer; builds are not shared", i)
+		}
+	}
+	st := c.Stats()
+	if st.Builds != 1 || st.Reuses != goroutines-1 || st.Entries != 1 {
+		t.Fatalf("Stats = %+v, want 1 build shared by %d reuses", st, goroutines-1)
+	}
+	if st.Bytes <= 0 {
+		t.Fatalf("Stats.Bytes = %d, want positive byte accounting", st.Bytes)
+	}
+}
+
+func TestTraceCacheEvictsToBudget(t *testing.T) {
+	probe, err := smt.BuildTraceSet(smt.WorkloadMix(2, 0, 1), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Budget for roughly one rotation's set, so a second rotation evicts
+	// the first.
+	c := NewTraceCache(probe.Bytes() + probe.Bytes()/2)
+	for rot := 0; rot < 2; rot++ {
+		if _, err := c.Get(smt.WorkloadMix(2, rot, 1), 1000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.Evictions == 0 || st.Entries != 1 {
+		t.Fatalf("Stats = %+v, want the over-budget rotation evicted down to 1 entry", st)
+	}
+	if st.Bytes > probe.Bytes()*2 {
+		t.Fatalf("Stats.Bytes = %d exceeds budget after eviction", st.Bytes)
+	}
+	// The survivor must be the most recently used rotation.
+	if _, err := c.Get(smt.WorkloadMix(2, 1, 1), 1000); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Stats(); got.Builds != 2 {
+		t.Fatalf("Builds = %d after re-fetching the survivor, want 2 (no rebuild)", got.Builds)
+	}
+}

@@ -1,0 +1,122 @@
+package workload
+
+import "fmt"
+
+// Trace is an immutable pre-decoded prefix of one program's architectural
+// execution: the first n DynRecords a fresh Walker would produce, plus the
+// walker state at the end of that prefix. A Trace is built once per
+// (program, seed, asid) and shared read-only across every configuration
+// and goroutine in a sweep — replaying records from a flat slice replaces
+// the per-run walker's control/address resolution in the fetch hot path.
+type Trace struct {
+	prog *Program
+	recs []DynRecord
+	end  WalkerState // walker position after recs (for tail spill)
+}
+
+// BuildTrace decodes the first n architectural instructions of p.
+func BuildTrace(p *Program, n int64) *Trace {
+	if n < 0 {
+		n = 0
+	}
+	w := NewWalker(p)
+	recs := make([]DynRecord, n)
+	for i := range recs {
+		recs[i] = w.Next()
+	}
+	return &Trace{prog: p, recs: recs, end: w.State()}
+}
+
+// Program returns the traced program.
+func (t *Trace) Program() *Program { return t.prog }
+
+// Len returns the number of pre-decoded records.
+func (t *Trace) Len() int { return len(t.recs) }
+
+// Bytes returns the approximate memory footprint of the trace records.
+func (t *Trace) Bytes() int64 { return int64(len(t.recs)) * 40 }
+
+// NewCursor returns a fresh replay position at the start of the trace.
+func (t *Trace) NewCursor() *Cursor { return &Cursor{t: t} }
+
+// Cursor replays a Trace as an InstrSource. Within the pre-decoded prefix
+// Next is an indexed read — no hashing, no mutation beyond the index, and
+// no allocation — so any number of cursors share one Trace concurrently.
+// A run that outlives the prefix spills to a private tail walker seeded
+// from the trace's end state and continues bit-identically.
+type Cursor struct {
+	t    *Trace
+	idx  int64   // next record to replay; valid while tail == nil
+	tail *Walker // non-nil once the cursor has run past the prefix
+}
+
+// Next produces the next architectural instruction record and advances.
+func (c *Cursor) Next() DynRecord {
+	if c.tail == nil {
+		if c.idx < int64(len(c.t.recs)) {
+			rec := c.t.recs[c.idx]
+			c.idx++
+			return rec
+		}
+		c.spill()
+	}
+	return c.tail.Next()
+}
+
+// spill builds the private tail walker for runs that outlive the prefix.
+// Traces are sized with slack over the run budget, so this is a cold path
+// taken at most once per cursor.
+//
+//smt:coldpath trace prefix exhausted at most once per run
+func (c *Cursor) spill() {
+	w := NewWalker(c.t.prog)
+	if err := w.SetState(c.t.end); err != nil {
+		// The end state came from a walker over the same program; a
+		// mismatch means the Trace itself is corrupt.
+		panic("workload: trace end state does not match its own program: " + err.Error())
+	}
+	c.tail = w
+}
+
+// Program returns the program being replayed.
+func (c *Cursor) Program() *Program { return c.t.prog }
+
+// State returns the cursor's current position as a WalkerState, so a
+// snapshot taken from a replayed run restores onto a live walker (or
+// another cursor) identically. Mid-prefix the cursor holds no walker
+// state, so it is reconstructed by replaying a fresh walker to the
+// cursor's index — a cold path paid once per snapshot save.
+//
+//smt:coldpath snapshot save only; never on the cycle loop
+func (c *Cursor) State() WalkerState {
+	if c.tail != nil {
+		return c.tail.State()
+	}
+	w := NewWalker(c.t.prog)
+	for i := int64(0); i < c.idx; i++ {
+		w.Next()
+	}
+	return w.State()
+}
+
+// SetState repositions the cursor. Positions within the pre-decoded
+// prefix resume indexed replay; positions past it resume on a private
+// tail walker. The state's PC must agree with the trace at that position,
+// which catches mismatched (program, seed) pairings.
+func (c *Cursor) SetState(s WalkerState) error {
+	if s.Seq <= uint64(len(c.t.recs)) {
+		if s.Seq < uint64(len(c.t.recs)) && c.t.recs[s.Seq].PC != s.PC {
+			return fmt.Errorf("workload: state pc %#x disagrees with trace record %d pc %#x",
+				s.PC, s.Seq, c.t.recs[s.Seq].PC)
+		}
+		c.idx = int64(s.Seq)
+		c.tail = nil
+		return nil
+	}
+	w := NewWalker(c.t.prog)
+	if err := w.SetState(s); err != nil {
+		return err
+	}
+	c.tail = w
+	return nil
+}

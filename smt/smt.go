@@ -295,6 +295,7 @@ func validateSpec(cfg Config, spec WorkloadSpec) error {
 type Simulator struct {
 	proc    *core.Processor
 	cfg     Config
+	spec    WorkloadSpec
 	running atomic.Bool // an unfinished streaming session owns the machine
 }
 
@@ -321,7 +322,7 @@ func New(cfg Config, spec WorkloadSpec) (*Simulator, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Simulator{proc: proc, cfg: cfg}, nil
+	return &Simulator{proc: proc, cfg: cfg, spec: spec}, nil
 }
 
 // MustNew is New for known-good arguments; it panics on error.
