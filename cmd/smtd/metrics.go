@@ -35,7 +35,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		ps := s.fed.Stats()
 		counter(&b, "smtd_cache_peer_hits_total", "Local misses served by the key's owning peer.", float64(ps.PeerHits))
 		counter(&b, "smtd_cache_peer_misses_total", "Owner-peer probes that missed too.", float64(ps.PeerMisses))
-		counter(&b, "smtd_cache_peer_fills_total", "Fills forwarded to the key's owning peer.", float64(ps.PeerFills))
+		counter(&b, "smtd_cache_peer_fills_total", "Fills the key's owning peer acknowledged.", float64(ps.PeerFills))
+		counter(&b, "smtd_cache_peer_fill_failures_total", "Forwarded fills that never landed (transport failure or open breaker).", float64(ps.PeerFillFailures))
+		counter(&b, "smtd_cache_peer_fill_dropped_total", "Fills shed because the async forward queue was full.", float64(ps.PeerFillDropped))
+		counter(&b, "smtd_cache_peer_breaker_skips_total", "Peer probes answered as instant misses by an open breaker.", float64(ps.PeerSkipped))
 		gauge(&b, "smtd_cache_peer_members", "Coordinators in the federation ring (self included).", float64(len(ps.Members)))
 	}
 
@@ -118,6 +121,32 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&b, "# HELP smtd_worker_completed_total Jobs one worker has completed.\n# TYPE smtd_worker_completed_total counter\n")
 	for _, wk := range st.Workers {
 		fmt.Fprintf(&b, "smtd_worker_completed_total{worker=%q,id=%q} %d\n", wk.Name, wk.ID, wk.Completed)
+	}
+
+	// Resilience: retry spend and per-peer circuit state. Breaker state is
+	// a coded gauge (0 closed, 1 half-open, 2 open) so "any peer down" is
+	// the one-liner max(smtd_breaker_state) > 1.
+	if s.retryCtr != nil {
+		counter(&b, "smtd_retry_total", "Retry attempts spent by the peer fill policies.", float64(s.retryCtr.Retries()))
+		counter(&b, "smtd_backoff_seconds_total", "Total backoff time slept between peer fill retries.", s.retryCtr.BackoffSeconds())
+	}
+	if s.breakers != nil {
+		snaps := s.breakers.Snapshot()
+		fmt.Fprintf(&b, "# HELP smtd_breaker_state Per-peer circuit state: 0 closed, 1 half-open, 2 open.\n# TYPE smtd_breaker_state gauge\n")
+		for _, bs := range snaps {
+			state := 0
+			switch bs.State {
+			case "half-open":
+				state = 1
+			case "open":
+				state = 2
+			}
+			fmt.Fprintf(&b, "smtd_breaker_state{peer=%q} %d\n", bs.Peer, state)
+		}
+		fmt.Fprintf(&b, "# HELP smtd_breaker_opens_total Times one peer's breaker has tripped open.\n# TYPE smtd_breaker_opens_total counter\n")
+		for _, bs := range snaps {
+			fmt.Fprintf(&b, "smtd_breaker_opens_total{peer=%q} %d\n", bs.Peer, bs.Opens)
+		}
 	}
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")

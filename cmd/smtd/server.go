@@ -14,10 +14,12 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/cache"
 	"repro/internal/dist"
 	"repro/internal/exp"
+	"repro/internal/resilience"
 	"repro/internal/snapshot"
 	"repro/smt"
 )
@@ -59,6 +61,14 @@ type Server struct {
 	snapTop   cache.Getter[[]byte] // full snapshot stack (local, or federated)
 	snapshots *snapshot.Store
 	traces    *snapshot.TraceCache
+
+	// breakers is the per-peer circuit breaker set shared by the result
+	// and snapshot federations — a host that is down is down for both
+	// keyspaces, so one failure streak must open one breaker, not two
+	// half-streaks. retryCtr aggregates every retry the peer fill
+	// policies spend, for /metrics. Both nil without -peers.
+	breakers *resilience.BreakerSet
+	retryCtr *resilience.Counters
 
 	mu         sync.Mutex
 	sweeps     map[string]*sweep
@@ -131,6 +141,10 @@ type ServerOptions struct {
 	// PeerClient overrides the HTTP client used for peer cache traffic
 	// (tests shorten its timeout); nil gets the federation default.
 	PeerClient *http.Client
+	// PeerBreaker tunes the per-peer circuit breakers guarding federation
+	// traffic (tests shorten threshold and cooldown); the zero value gets
+	// the resilience defaults.
+	PeerBreaker resilience.BreakerConfig
 }
 
 // NewServer builds a service with the given simulation concurrency
@@ -188,9 +202,16 @@ func NewServerWith(opts ServerOptions) (*Server, error) {
 	s.top = s.local
 	s.snapTop = s.snapLocal
 	if len(opts.Peers) > 0 {
-		s.fed = cache.NewFederated[smt.Results](s.local, opts.Self, opts.Peers, opts.PeerClient)
+		s.breakers = resilience.NewBreakerSet(opts.PeerBreaker)
+		s.retryCtr = &resilience.Counters{}
+		fedCfg := cache.FederatedConfig{
+			Client:     opts.PeerClient,
+			Breakers:   s.breakers,
+			FillPolicy: resilience.Policy{MaxAttempts: 2, BaseDelay: 100 * time.Millisecond, MaxDelay: 2 * time.Second, Counters: s.retryCtr},
+		}
+		s.fed = cache.NewFederatedWith[smt.Results](s.local, opts.Self, opts.Peers, fedCfg)
 		s.top = s.fed
-		s.snapFed = cache.NewFederated[[]byte](s.snapLocal, opts.Self, opts.Peers, opts.PeerClient)
+		s.snapFed = cache.NewFederatedWith[[]byte](s.snapLocal, opts.Self, opts.Peers, fedCfg)
 		s.snapTop = s.snapFed
 	}
 	// In-flight dedup on top of the stack: concurrent identical sweeps
@@ -215,12 +236,47 @@ func NewServerWith(opts ServerOptions) (*Server, error) {
 		// use, so jobs that land in-process still restore checkpoints and
 		// replay traces.
 		Exec: dist.SimulateJobWarm(exp.WarmEnv{Snapshots: s.snapshots, Traces: s.traces}),
+		// /v1/workers surfaces the federation breakers: one status call
+		// answers "which peers is this coordinator treating as down".
+		BreakerStats: s.breakerStats,
 	})
 	return s, nil
 }
 
-// Close stops the coordinator's background lease janitor.
-func (s *Server) Close() { s.coord.Close() }
+// breakerStats snapshots the federation circuit breakers (nil without
+// -peers).
+func (s *Server) breakerStats() []resilience.BreakerSnapshot {
+	if s.breakers == nil {
+		return nil
+	}
+	return s.breakers.Snapshot()
+}
+
+// Close stops the coordinator's background lease janitor and the
+// federation fill forwarders.
+func (s *Server) Close() {
+	s.coord.Close()
+	if s.fed != nil {
+		s.fed.Close()
+	}
+	if s.snapFed != nil {
+		s.snapFed.Close()
+	}
+}
+
+// flushPeerFills drains both federations' async fill queues, bounded by
+// ctx. Sweeps flush at completion so the one-logical-cache property is
+// visible the moment a sweep reports done: a resubmission through any
+// member is a 100% hit, which the cross-process federation smoke test
+// (and any client that round-robins coordinators) relies on.
+func (s *Server) flushPeerFills(ctx context.Context) {
+	if s.fed != nil {
+		s.fed.Flush(ctx)
+	}
+	if s.snapFed != nil {
+		s.snapFed.Flush(ctx)
+	}
+}
 
 // Drain blocks until every sweep running when it was called has finished
 // or ctx expires, returning how many were still running at timeout. The
@@ -733,6 +789,14 @@ func (s *Server) startSweep(e exp.Experiment, o exp.Opts, totalJobs int, interva
 		defer close(sw.done)
 		defer cancel()
 		res, err := runner.RunExperiment(ctx, e, o)
+		if err == nil {
+			// Barrier the async federation fills before reporting done, so
+			// a resubmission through any member sees this sweep's shard.
+			// Bounded: a dead owner cannot hold the sweep open past it.
+			fctx, fcancel := context.WithTimeout(context.Background(), 15*time.Second)
+			s.flushPeerFills(fctx)
+			fcancel()
+		}
 		s.mu.Lock()
 		defer s.mu.Unlock()
 		if err != nil {

@@ -9,6 +9,11 @@
 //     http.NewRequestWithContext, and any function that drives
 //     http.Client.Do or uses the package-level http.Get/Post helpers must
 //     accept a context.Context so its caller owns the deadline.
+//  3. Bare time.Sleep is banned in internal/dist and internal/cache: a
+//     sleep nothing can interrupt is how the worker's result-post retry
+//     loop once wedged SIGTERM drains against a dead coordinator. Waits
+//     belong on resilience.Sleep (ctx-aware) or a resilience.Policy's
+//     backoff schedule.
 //
 // Explicitly-chosen detached contexts (context.Background() inside a
 // function that still takes ctx, e.g. result drain on a canceled worker)
@@ -30,6 +35,12 @@ var bodyScope = []string{"cmd/smtd", "internal/dist"}
 // ctxScope lists packages whose client calls are checked for rule 2.
 var ctxScope = []string{"internal/dist", "internal/cache", "cmd/smtd"}
 
+// sleepScope lists packages where bare time.Sleep is banned (rule 3).
+// Narrower than ctxScope: cmd/smtd's CLI shell has no retry loops, while
+// these two packages are exactly where an uninterruptible sleep turns
+// into a wedged drain.
+var sleepScope = []string{"internal/dist", "internal/cache"}
+
 // Analyzer is the service-hygiene checker.
 var Analyzer = &analysis.Analyzer{
 	Name: "servicehygiene",
@@ -50,7 +61,8 @@ func inScope(scope []string, rel string) bool {
 func run(pass *analysis.Pass) error {
 	body := inScope(bodyScope, pass.Pkg.RelPath)
 	ctx := inScope(ctxScope, pass.Pkg.RelPath)
-	if !body && !ctx {
+	sleep := inScope(sleepScope, pass.Pkg.RelPath)
+	if !body && !ctx && !sleep {
 		return nil
 	}
 	for _, f := range pass.Pkg.Files {
@@ -63,8 +75,26 @@ func run(pass *analysis.Pass) error {
 		if ctx {
 			checkContexts(pass, f)
 		}
+		if sleep {
+			checkSleeps(pass, f)
+		}
 	}
 	return nil
+}
+
+// checkSleeps flags bare time.Sleep calls: nothing can interrupt them,
+// so a retry loop built on one holds a draining process hostage.
+func checkSleeps(pass *analysis.Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if pkg, name := calleePkgFunc(pass, call); pkg == "time" && name == "Sleep" {
+			pass.Reportf(call.Pos(), "bare time.Sleep cannot be interrupted: wait with resilience.Sleep(ctx, d) or a resilience.Policy backoff")
+		}
+		return true
+	})
 }
 
 // checkBodyReads flags every use of (*http.Request).Body that is not the

@@ -8,6 +8,7 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
+	"time"
 )
 
 // handleRaw decodes without a byte limit.
@@ -52,5 +53,28 @@ func lazyGet(url string) {
 	resp, _ := http.Get(url) // want `http.Get has no context`
 	if resp != nil {
 		resp.Body.Close()
+	}
+}
+
+// napRetry rides a bare sleep between attempts — the wedged-drain bug.
+func napRetry(op func() error) {
+	for i := 0; i < 3; i++ {
+		if op() == nil {
+			return
+		}
+		time.Sleep(500 * time.Millisecond) // want `bare time.Sleep cannot be interrupted`
+	}
+}
+
+// timedWait uses a timer under a select, which a context can interrupt;
+// the rule bans only the uninterruptible form.
+func timedWait(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
 	}
 }

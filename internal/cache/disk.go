@@ -43,12 +43,13 @@ type DiskStats struct {
 type Disk[V any] struct {
 	dir string
 
-	mu      sync.Mutex
-	index   map[string]string // key -> file name (relative to dir)
-	hits    int64
-	misses  int64
-	corrupt int64
-	warm    int
+	mu        sync.Mutex
+	index     map[string]string // key -> file name (relative to dir)
+	hits      int64
+	misses    int64
+	corrupt   int64
+	warm      int
+	transform func(key string, body []byte) []byte // test-only write mangler
 }
 
 // diskRecord is the on-disk envelope: the key it was stored under (file
@@ -147,6 +148,11 @@ func (d *Disk[V]) Put(key string, val V) {
 	if err != nil {
 		return
 	}
+	d.mu.Lock()
+	if d.transform != nil {
+		body = d.transform(key, body)
+	}
+	d.mu.Unlock()
 	name := fileNameFor(key)
 	f, err := os.CreateTemp(d.dir, ".tmp-*")
 	if err != nil {
@@ -175,6 +181,18 @@ func (d *Disk[V]) Put(key string, val V) {
 	}
 	d.mu.Lock()
 	d.index[key] = name
+	d.mu.Unlock()
+}
+
+// SetWriteTransform installs a hook that may rewrite the serialized
+// envelope just before it hits the disk; nil clears it. This is the
+// chaos suite's corrupt-write injection point — a transform that mangles
+// bytes produces exactly the torn or bit-rotted files the read-side
+// checksums exist to catch, proving a corrupted fill degrades to a miss
+// instead of a wrong result. Production code never calls this.
+func (d *Disk[V]) SetWriteTransform(f func(key string, body []byte) []byte) {
+	d.mu.Lock()
+	d.transform = f
 	d.mu.Unlock()
 }
 

@@ -224,3 +224,34 @@ func TestTieredPromotesAndSurvivesRestart(t *testing.T) {
 		t.Fatalf("promotions did not serve repeats from memory: %+v", st2.Memory)
 	}
 }
+
+// TestDiskWriteTransformCorruptionDetected: the chaos suite's
+// corrupt-write hook mangles envelopes on their way to disk; every such
+// write must be caught by the read-side checksum and served as a miss —
+// never a wrong value — and a clean refill must recover the key.
+func TestDiskWriteTransformCorruptionDetected(t *testing.T) {
+	dir := t.TempDir()
+	d, err := NewDisk[result](dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.SetWriteTransform(func(key string, body []byte) []byte {
+		mangled := append([]byte(nil), body...)
+		for i := len(mangled) / 2; i < len(mangled) && i < len(mangled)/2+8; i++ {
+			mangled[i] = 0
+		}
+		return mangled
+	})
+	d.Put("feedface", result{IPC: 4})
+	if _, ok := d.Get("feedface"); ok {
+		t.Fatal("corrupted write served as a hit")
+	}
+	if st := d.Stats(); st.Corrupt != 1 {
+		t.Fatalf("corrupt counter = %d, want 1", st.Corrupt)
+	}
+	d.SetWriteTransform(nil)
+	d.Put("feedface", result{IPC: 4})
+	if v, ok := d.Get("feedface"); !ok || v.IPC != 4 {
+		t.Fatalf("clean refill after corrupt write: %+v ok=%v", v, ok)
+	}
+}

@@ -1,12 +1,14 @@
 package cache
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 // fedNode is one in-process federation member: a local store behind the
@@ -67,8 +69,22 @@ func newFedCluster(t *testing.T, n int) []*fedNode {
 	}
 	for _, node := range nodes {
 		node.fed = NewFederated[result](node.local, node.url, urls, nil)
+		t.Cleanup(node.fed.Close)
 	}
 	return nodes
+}
+
+// flushFills drains every node's async fill queue so cross-member state
+// is observable — the same barrier the sweep path runs at completion.
+func flushFills(t *testing.T, nodes []*fedNode) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for i, n := range nodes {
+		if err := n.fed.Flush(ctx); err != nil {
+			t.Fatalf("flush node %d: %v", i, err)
+		}
+	}
 }
 
 // TestFederatedSharedLogicalCache: a fill through any member is a hit
@@ -80,6 +96,9 @@ func TestFederatedSharedLogicalCache(t *testing.T) {
 		keys[i] = fmt.Sprintf("fedkey%02d", i)
 		nodes[i%3].fed.Put(keys[i], result{Cycles: int64(i)})
 	}
+	// Fills forward asynchronously; barrier before asserting cross-member
+	// visibility, as the sweep path does at completion.
+	flushFills(t, nodes)
 	// Rings agree on every key's owner.
 	for _, k := range keys {
 		owner := nodes[0].fed.Owner(k)
@@ -152,6 +171,7 @@ func TestFederatedPromotion(t *testing.T) {
 		}
 	}
 	nodes[0].fed.Put(key, result{IPC: 7})
+	flushFills(t, nodes[:1])
 	if v, ok := nodes[1].fed.Get(key); !ok || v.IPC != 7 {
 		t.Fatalf("cross-peer get: %+v ok=%v", v, ok)
 	}
@@ -169,6 +189,7 @@ func TestFederatedPromotion(t *testing.T) {
 func TestFederatedDegradesWhenPeerDown(t *testing.T) {
 	local := New[result](0)
 	f := NewFederated[result](local, "http://127.0.0.1:9", []string{"http://127.0.0.1:9", "http://127.0.0.1:1"}, nil)
+	defer f.Close()
 	// Some key owned by the dead peer.
 	var key string
 	for i := 0; ; i++ {

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/exp"
+	"repro/internal/resilience"
 	"repro/smt"
 )
 
@@ -62,6 +63,11 @@ type Options struct {
 	// Logf receives scheduler events (worker joins/deaths, requeues).
 	// Nil discards them.
 	Logf func(format string, args ...any)
+	// BreakerStats, when non-nil, supplies the host's per-peer circuit
+	// breaker snapshots for Status.Breakers — the coordinator itself has
+	// no outbound peers; smtd passes the federation layer's set here so
+	// /v1/workers surfaces them.
+	BreakerStats func() []resilience.BreakerSnapshot
 }
 
 func (o Options) withDefaults() Options {
@@ -343,6 +349,9 @@ func (c *Coordinator) Stats() Status {
 		})
 	}
 	sort.Slice(st.Workers, func(i, j int) bool { return st.Workers[i].ID < st.Workers[j].ID })
+	if c.opts.BreakerStats != nil {
+		st.Breakers = c.opts.BreakerStats()
+	}
 	return st
 }
 

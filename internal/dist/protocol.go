@@ -37,6 +37,7 @@ import (
 	"runtime/debug"
 
 	"repro/internal/exp"
+	"repro/internal/resilience"
 	"repro/smt"
 )
 
@@ -209,6 +210,12 @@ type Status struct {
 	// Autoscale is the queued-jobs-vs-capacity signal a deployment layer
 	// watches to size the worker fleet.
 	Autoscale Autoscale `json:"autoscale"`
+
+	// Breakers reports the per-peer circuit breakers guarding this
+	// coordinator's federation probes, when the host wires them in
+	// (Options.BreakerStats) — one glance at /v1/workers answers "which
+	// peers are we currently treating as down".
+	Breakers []resilience.BreakerSnapshot `json:"breakers,omitempty"`
 }
 
 // Autoscale compares the backlog against fleet capacity in units a

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"net/http"
 	"runtime"
@@ -16,6 +17,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/exp"
+	"repro/internal/resilience"
 	"repro/internal/snapshot"
 	"repro/smt"
 )
@@ -80,9 +82,22 @@ type WorkerOptions struct {
 	// default and long polls get a dedicated timeout-free client bounded
 	// per-request at PollWait plus a margin.
 	Client *http.Client
-	// Backoff is the retry pause after a failed coordinator call;
-	// default 500ms.
+	// Backoff is the base retry pause after a failed coordinator call;
+	// default 500ms. It seeds the worker's default retry policy (capped
+	// exponential with deterministic jitter); set Retry to override the
+	// whole schedule.
 	Backoff time.Duration
+	// Retry overrides the worker's outbound-call retry policy. The zero
+	// value derives one from Backoff: 3 attempts, Backoff base doubling
+	// to 10x Backoff, jitter seeded from the worker name so a fleet's
+	// retries do not synchronize.
+	Retry resilience.Policy
+	// DrainGrace bounds how long a draining worker keeps retrying result
+	// delivery against an unresponsive coordinator before abandoning the
+	// posts and deregistering; default 15s. Without the bound, a dead
+	// coordinator would stall a SIGTERM'd worker for the full client
+	// timeout times every retry.
+	DrainGrace time.Duration
 	// Build is the worker's binary identity sent at registration;
 	// defaults to BuildID().
 	Build string
@@ -101,6 +116,14 @@ type Worker struct {
 	client     *http.Client
 	pollClient *http.Client // no global timeout; polls are bounded per-request
 	logf       func(string, ...any)
+	retry      resilience.Policy
+
+	// pctx governs result posts and the goodbye deregister. It lives
+	// past the run context — drain still delivers — but is cancelled
+	// once a drain has been stuck for DrainGrace, so a dead coordinator
+	// cannot wedge shutdown behind client timeouts (see Run).
+	pctx    context.Context
+	pcancel context.CancelFunc
 
 	// regMu serializes (re-)registration so a coordinator that forgot us
 	// triggers exactly one rejoin, not one per loop that sees the 404 —
@@ -120,8 +143,8 @@ type Worker struct {
 	pollWait  time.Duration
 	cache     ResultCache
 	snapshots exp.SnapshotStore
-	done     int64 // jobs whose results were delivered (simulated or cache-served)
-	fatal    error // permanent rejection observed mid-run (build mismatch)
+	done      int64 // jobs whose results were delivered (simulated or cache-served)
+	fatal     error // permanent rejection observed mid-run (build mismatch)
 }
 
 func (w *Worker) setFatal(err error) {
@@ -148,6 +171,20 @@ func NewWorker(opts WorkerOptions) *Worker {
 	if opts.Backoff <= 0 {
 		opts.Backoff = 500 * time.Millisecond
 	}
+	if opts.DrainGrace <= 0 {
+		opts.DrainGrace = 15 * time.Second
+	}
+	retry := opts.Retry
+	if retry == (resilience.Policy{}) {
+		h := fnv.New64a()
+		h.Write([]byte(opts.Name))
+		retry = resilience.Policy{
+			MaxAttempts: 3,
+			BaseDelay:   opts.Backoff,
+			MaxDelay:    10 * opts.Backoff,
+			Seed:        h.Sum64(),
+		}
+	}
 	if opts.Build == "" {
 		opts.Build = BuildID()
 	}
@@ -161,12 +198,16 @@ func NewWorker(opts WorkerOptions) *Worker {
 		client = &http.Client{Timeout: 30 * time.Second}
 		pollClient = &http.Client{} // polls are bounded by per-request contexts
 	}
+	pctx, pcancel := context.WithCancel(context.Background())
 	return &Worker{
 		opts:       opts,
 		base:       strings.TrimRight(opts.Coordinator, "/"),
 		client:     client,
 		pollClient: pollClient,
 		logf:       logf,
+		retry:      retry,
+		pctx:       pctx,
+		pcancel:    pcancel,
 		cache:      opts.Cache,
 		snapshots:  opts.Snapshots,
 	}
@@ -221,15 +262,27 @@ func (w *Worker) Run(ctx context.Context) error {
 		defer close(hbDone)
 		w.heartbeatLoop(hbCtx)
 	}()
-	go func() {
-		<-ctx.Done()
-		w.draining.Store(true)
-	}()
 	w.results = make(chan TaskResult, w.opts.Slots*2)
 	repDone := make(chan struct{})
 	go func() {
 		defer close(repDone)
 		w.reporterLoop()
+	}()
+	go func() {
+		<-ctx.Done()
+		w.draining.Store(true)
+		// Give post-shutdown result delivery a bounded grace, then cut
+		// the post context: a coordinator that died mid-drain stops
+		// stalling the shutdown the moment the grace expires, instead of
+		// holding it for client-timeout x retries. A drain that finishes
+		// inside the grace (the normal case) never sees the cut.
+		t := time.NewTimer(w.opts.DrainGrace)
+		defer t.Stop()
+		select {
+		case <-t.C:
+			w.pcancel()
+		case <-repDone:
+		}
 	}()
 	var wg sync.WaitGroup
 	wg.Add(1)
@@ -246,9 +299,11 @@ func (w *Worker) Run(ctx context.Context) error {
 	<-repDone
 	hbCancel()
 	<-hbDone
-	// Detached on purpose: the run context is already canceled by the time
-	// the worker says goodbye.
-	w.deregister(context.Background())
+	// Detached from the run context on purpose — it is already canceled
+	// by the time the worker says goodbye. The post context stands in:
+	// alive on every normal drain, already cut when the drain grace
+	// expired against a dead coordinator (the goodbye would only stall).
+	w.deregister(w.pctx)
 	// A mid-run permanent rejection (the coordinator restarted with a
 	// different build) is a failure, not a drain: the caller must see it
 	// and exit non-zero rather than report a clean shutdown.
@@ -273,22 +328,27 @@ func (w *Worker) reregister(ctx context.Context, staleID string) error {
 	return w.register(ctx)
 }
 
-// register announces the worker, retrying until it succeeds, the
-// coordinator rejects it permanently (build mismatch), or ctx ends.
+// register announces the worker, retrying on the policy's backoff
+// schedule (unlimited attempts) until it succeeds, the coordinator
+// rejects it permanently (build mismatch), or ctx ends.
 func (w *Worker) register(ctx context.Context) error {
-	for {
-		err := w.registerOnce(ctx)
+	pol := w.retry
+	pol.MaxAttempts = 0 // a worker with nothing to join retries until told to stop
+	err := pol.Do(ctx, func(actx context.Context) error {
+		err := w.registerOnce(actx)
 		switch {
 		case err == nil:
 			return nil
 		case errors.Is(err, errRejected):
-			return err // permanent: retrying cannot help
+			return resilience.Permanent(err)
 		}
 		w.logf("dist: register against %s failed (%v); retrying", w.base, err)
-		if !sleepCtx(ctx, w.opts.Backoff) {
-			return fmt.Errorf("dist: worker never registered with %s: %w", w.base, ctx.Err())
-		}
+		return err
+	})
+	if err != nil && !errors.Is(err, errRejected) {
+		return fmt.Errorf("dist: worker never registered with %s: %w", w.base, err)
 	}
+	return err
 }
 
 // errRejected marks a registration the coordinator refused outright.
@@ -367,7 +427,7 @@ func (w *Worker) heartbeatLoop(ctx context.Context) {
 		if interval <= 0 {
 			interval = time.Second
 		}
-		if !sleepCtx(ctx, interval) {
+		if !resilience.Sleep(ctx, interval) {
 			return
 		}
 		id := w.ID()
@@ -407,6 +467,10 @@ func (w *Worker) dispatchLoop(ctx context.Context, wg *sync.WaitGroup) {
 	// when a slot frees, the next job starts from here with no network
 	// round trip in between.
 	var queue []Assignment
+	// pollFails ramps the backoff between failed polls (capped
+	// exponential with jitter, reset on any answer) so a down
+	// coordinator is probed gently while a transient blip costs little.
+	var pollFails int
 	launch := func(asg Assignment) {
 		wg.Add(1)
 		go func() {
@@ -464,6 +528,9 @@ func (w *Worker) dispatchLoop(ctx context.Context, wg *sync.WaitGroup) {
 		}
 		id := w.ID()
 		batch, code, err := w.poll(ctx, id, free+w.opts.Prefetch)
+		if err == nil && code != 0 {
+			pollFails = 0 // any coordinator answer resets the backoff ramp
+		}
 		started := 0
 		if err == nil && code == http.StatusOK {
 			// Execute even when shutdown raced the poll: the coordinator
@@ -491,7 +558,8 @@ func (w *Worker) dispatchLoop(ctx context.Context, wg *sync.WaitGroup) {
 			drainQueue()
 			return
 		case err != nil:
-			sleepCtx(ctx, w.opts.Backoff)
+			pollFails++
+			resilience.Sleep(ctx, w.retry.Delay(pollFails))
 		case code == http.StatusNotFound:
 			if err := w.reregister(ctx, id); err != nil {
 				if errors.Is(err, errRejected) {
@@ -502,7 +570,8 @@ func (w *Worker) dispatchLoop(ctx context.Context, wg *sync.WaitGroup) {
 		case code == http.StatusNoContent:
 			// No work inside the poll window; ask again.
 		default:
-			sleepCtx(ctx, w.opts.Backoff)
+			pollFails++
+			resilience.Sleep(ctx, w.retry.Delay(pollFails))
 		}
 	}
 }
@@ -576,7 +645,7 @@ func (w *Worker) execute(ctx context.Context, asg Assignment) {
 	}
 	var onSnap func(smt.Snapshot)
 	if p.Interval > 0 {
-		onSnap = func(s smt.Snapshot) { w.postSnapshot(asg, s) }
+		onSnap = func(s smt.Snapshot) { w.postSnapshot(ctx, asg, s) }
 	}
 	res := w.exec()(p, onSnap)
 	if c != nil {
@@ -615,12 +684,17 @@ func (w *Worker) reporterLoop() {
 	}
 }
 
-// postResults delivers one batch. Transport errors retry a few times; any
-// definitive coordinator response ends the attempt (a discarded result
-// means the job was requeued or cancelled, and re-posting cannot change
-// that). Only accepted results count toward JobsDone: the drain exit
-// message must not claim jobs whose results were actually requeued
-// elsewhere.
+// postResults delivers one batch on the retry policy. Transport errors,
+// 5xx answers, and garbled acks retry with backoff; any other definitive
+// coordinator response ends the attempt (a discarded result means the
+// job was requeued or cancelled, and re-posting cannot change that).
+// Only accepted results count toward JobsDone: the drain exit message
+// must not claim jobs whose results were actually requeued elsewhere.
+//
+// Posts ride the worker's post context, not the run context — drain
+// still delivers — but a drain stuck past DrainGrace cuts it, so a dead
+// coordinator cannot stall a SIGTERM'd worker behind client timeouts
+// (the old bare time.Sleep loop here did exactly that).
 //
 // When every attempt fails at the transport, the worker deregisters
 // itself: its own heartbeats would otherwise keep renewing the
@@ -631,32 +705,57 @@ func (w *Worker) reporterLoop() {
 // as well and the leases expire on their own.
 func (w *Worker) postResults(batch []TaskResult) {
 	body := ResultsRequest{WorkerID: w.ID(), Results: batch}
-	for attempt := 0; attempt < 3; attempt++ {
-		resp, err := w.postJSON(context.Background(), "/v1/work/result", body)
-		if err == nil {
-			var ack ResultsResponse
-			ok := resp.StatusCode == http.StatusOK && json.NewDecoder(resp.Body).Decode(&ack) == nil
-			drainBody(resp.Body)
-			if ok && ack.Accepted > 0 {
-				w.mu.Lock()
-				w.done += int64(ack.Accepted)
-				w.mu.Unlock()
-			}
-			return
+	err := w.retry.Do(w.pctx, func(ctx context.Context) error {
+		resp, err := w.postJSON(ctx, "/v1/work/result", body)
+		if err != nil {
+			return err
 		}
-		time.Sleep(w.opts.Backoff)
+		defer drainBody(resp.Body)
+		if resp.StatusCode >= http.StatusInternalServerError {
+			return fmt.Errorf("result post answered %d", resp.StatusCode)
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil // definitive refusal; re-posting cannot change it
+		}
+		var ack ResultsResponse
+		if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+			// The coordinator processed the post but the ack was lost in
+			// transit; re-posting is safe (delivery deduplicates) and
+			// recovers the accepted count.
+			return fmt.Errorf("result ack garbled: %w", err)
+		}
+		if ack.Accepted > 0 {
+			w.mu.Lock()
+			w.done += int64(ack.Accepted)
+			w.mu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		w.logf("dist: result post for %d task(s) never landed; leaving the registry so their leases requeue", len(batch))
+		w.deregister(w.pctx)
 	}
-	w.logf("dist: result post for %d task(s) never landed; leaving the registry so their leases requeue", len(batch))
-	w.deregister(context.Background())
 }
 
-// postSnapshot streams one interval snapshot; best-effort.
-func (w *Worker) postSnapshot(asg Assignment, s smt.Snapshot) {
-	resp, err := w.postJSON(context.Background(), "/v1/work/snapshot",
-		SnapshotRequest{WorkerID: w.ID(), TaskID: asg.TaskID, Snapshot: s})
-	if err == nil {
+// postSnapshot streams one interval snapshot; best-effort with one
+// retry — snapshots are progress telemetry and lease renewal, so a lost
+// one costs visibility, never correctness. A draining worker drops them
+// (ctx is the run context), exactly as it drops cache fills.
+func (w *Worker) postSnapshot(ctx context.Context, asg Assignment, s smt.Snapshot) {
+	pol := w.retry
+	pol.MaxAttempts = 2
+	pol.Do(ctx, func(actx context.Context) error {
+		resp, err := w.postJSON(actx, "/v1/work/snapshot",
+			SnapshotRequest{WorkerID: w.ID(), TaskID: asg.TaskID, Snapshot: s})
+		if err != nil {
+			return err
+		}
 		drainBody(resp.Body)
-	}
+		if resp.StatusCode >= http.StatusInternalServerError {
+			return fmt.Errorf("snapshot post answered %d", resp.StatusCode)
+		}
+		return nil
+	})
 }
 
 // postJSON issues a POST with a JSON body. Long polls pass the worker
@@ -673,18 +772,6 @@ func (w *Worker) postJSON(ctx context.Context, path string, v any) (*http.Respon
 	}
 	req.Header.Set("Content-Type", "application/json")
 	return w.client.Do(req)
-}
-
-// sleepCtx pauses for d; it reports false when ctx ended first.
-func sleepCtx(ctx context.Context, d time.Duration) bool {
-	t := time.NewTimer(d)
-	defer t.Stop()
-	select {
-	case <-ctx.Done():
-		return false
-	case <-t.C:
-		return true
-	}
 }
 
 func drainBody(body io.ReadCloser) {

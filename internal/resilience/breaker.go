@@ -1,0 +1,228 @@
+package resilience
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// State is a circuit breaker's position.
+type State int32
+
+const (
+	// Closed: traffic flows; consecutive transport failures are counted.
+	Closed State = iota
+	// Open: traffic is refused instantly; after Cooldown the breaker
+	// half-opens.
+	Open
+	// HalfOpen: exactly one probe is allowed through; its outcome closes
+	// or re-opens the breaker.
+	HalfOpen
+)
+
+func (s State) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// BreakerConfig tunes a Breaker. The zero value gets defaults: trip
+// after 3 consecutive failures, half-open probe after a 5s cooldown.
+type BreakerConfig struct {
+	// Threshold is how many consecutive transport failures trip the
+	// breaker open. Zero or negative defaults to 3.
+	Threshold int
+
+	// Cooldown is how long an open breaker refuses traffic before
+	// granting a half-open probe. Zero or negative defaults to 5s.
+	Cooldown time.Duration
+
+	// Now overrides the clock — tests drive state transitions without
+	// sleeping. Nil uses time.Now. The clock only ages cooldowns; no
+	// breaker decision depends on wall-clock values beyond "has the
+	// cooldown elapsed", so production behavior stays reproducible.
+	Now func() time.Time
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Threshold <= 0 {
+		c.Threshold = 3
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 5 * time.Second
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Breaker is a per-peer circuit breaker: closed → open after Threshold
+// consecutive transport failures → half-open single probe after
+// Cooldown → closed on probe success, re-open on probe failure. It
+// makes a down federation owner an instant local miss instead of a
+// client-timeout on every sweep job's critical path.
+//
+// Callers gate each request on Allow and report its outcome with
+// Success or Failure. A clean cache miss is a Success — the peer
+// answered; only transport-level failures (connect, timeout, 5xx,
+// garbled body) count toward tripping.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu       sync.Mutex
+	state    State
+	failures int       // consecutive transport failures while closed
+	openedAt time.Time // when the breaker last tripped
+	probing  bool      // a half-open probe is in flight
+	opens    int64     // times the breaker has tripped, ever
+}
+
+// NewBreaker builds a breaker from cfg (zero value ok).
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg.withDefaults()}
+}
+
+// Allow reports whether a request may proceed. Open refuses instantly
+// until the cooldown elapses, then admits exactly one half-open probe;
+// concurrent callers during the probe are refused until its outcome is
+// reported.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		return true
+	case Open:
+		if b.cfg.Now().Sub(b.openedAt) < b.cfg.Cooldown {
+			return false
+		}
+		b.state = HalfOpen
+		b.probing = true
+		return true
+	default: // HalfOpen
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// Success reports a request that got a real answer (hit or clean miss).
+// It closes a half-open breaker and resets the failure count.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = Closed
+	b.failures = 0
+	b.probing = false
+}
+
+// Failure reports a transport-level failure. Threshold consecutive
+// failures trip a closed breaker; any half-open probe failure re-opens
+// immediately.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case HalfOpen:
+		b.trip()
+	case Closed:
+		b.failures++
+		if b.failures >= b.cfg.Threshold {
+			b.trip()
+		}
+	}
+	// Open: a straggler request that was admitted before the trip;
+	// nothing more to record.
+}
+
+// trip moves to Open; caller holds b.mu.
+func (b *Breaker) trip() {
+	b.state = Open
+	b.openedAt = b.cfg.Now()
+	b.probing = false
+	b.failures = 0
+	b.opens++
+}
+
+// State returns the breaker's current position without advancing it (an
+// open breaker past its cooldown still reads Open until Allow grants
+// the probe).
+func (b *Breaker) State() State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// BreakerSnapshot is one breaker's externally visible state, shaped for
+// PeerStats, /v1/workers, and /metrics.
+type BreakerSnapshot struct {
+	Peer     string `json:"peer"`
+	State    string `json:"state"`
+	Failures int    `json:"consecutive_failures"`
+	Opens    int64  `json:"opens"`
+}
+
+// Snapshot captures the breaker's state for reporting.
+func (b *Breaker) Snapshot() BreakerSnapshot {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BreakerSnapshot{State: b.state.String(), Failures: b.failures, Opens: b.opens}
+}
+
+// BreakerSet lazily builds one Breaker per name (peer base URL) from a
+// shared config. smtd shares one set between the result and snapshot
+// federations — a host that is down is down for both keyspaces.
+type BreakerSet struct {
+	cfg BreakerConfig
+
+	mu sync.Mutex
+	m  map[string]*Breaker
+}
+
+// NewBreakerSet builds a set whose breakers all use cfg (zero value ok).
+func NewBreakerSet(cfg BreakerConfig) *BreakerSet {
+	return &BreakerSet{cfg: cfg.withDefaults(), m: make(map[string]*Breaker)}
+}
+
+// Get returns the breaker for name, creating it closed on first use.
+func (s *BreakerSet) Get(name string) *Breaker {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.m[name]
+	if !ok {
+		b = NewBreaker(s.cfg)
+		s.m[name] = b
+	}
+	return b
+}
+
+// Snapshot reports every breaker in the set, sorted by peer name.
+func (s *BreakerSet) Snapshot() []BreakerSnapshot {
+	s.mu.Lock()
+	names := make([]string, 0, len(s.m))
+	for n := range s.m {
+		names = append(names, n)
+	}
+	breakers := make([]*Breaker, 0, len(names))
+	sort.Strings(names)
+	for _, n := range names {
+		breakers = append(breakers, s.m[n])
+	}
+	s.mu.Unlock()
+	out := make([]BreakerSnapshot, len(names))
+	for i, b := range breakers {
+		out[i] = b.Snapshot()
+		out[i].Peer = names[i]
+	}
+	return out
+}

@@ -1,0 +1,183 @@
+package resilience
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock drives breaker cooldowns without sleeping.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func newTestBreaker(threshold int, cooldown time.Duration) (*Breaker, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	return NewBreaker(BreakerConfig{Threshold: threshold, Cooldown: cooldown, Now: clk.now}), clk
+}
+
+func TestBreakerTripsAfterThreshold(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Minute)
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatalf("closed breaker refused request %d", i)
+		}
+		b.Failure()
+		if b.State() != Closed {
+			t.Fatalf("tripped after only %d failures", i+1)
+		}
+	}
+	b.Failure()
+	if b.State() != Open {
+		t.Fatal("three consecutive failures did not trip the breaker")
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted a request inside the cooldown")
+	}
+	snap := b.Snapshot()
+	if snap.State != "open" || snap.Opens != 1 {
+		t.Fatalf("snapshot = %+v, want open with 1 trip", snap)
+	}
+}
+
+func TestBreakerSuccessResetsFailureStreak(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Minute)
+	b.Failure()
+	b.Failure()
+	b.Success()
+	b.Failure()
+	b.Failure()
+	if b.State() != Closed {
+		t.Fatal("non-consecutive failures tripped the breaker")
+	}
+}
+
+func TestBreakerHalfOpenProbeCloses(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Minute)
+	b.Failure()
+	if b.State() != Open {
+		t.Fatal("threshold-1 breaker did not trip on first failure")
+	}
+	clk.advance(59 * time.Second)
+	if b.Allow() {
+		t.Fatal("probe admitted before cooldown elapsed")
+	}
+	clk.advance(2 * time.Second)
+	if !b.Allow() {
+		t.Fatal("probe refused after cooldown")
+	}
+	if b.State() != HalfOpen {
+		t.Fatalf("state = %v after granting probe, want half-open", b.State())
+	}
+	b.Success()
+	if b.State() != Closed {
+		t.Fatal("successful probe did not close the breaker")
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker refused traffic")
+	}
+}
+
+func TestBreakerHalfOpenProbeFailureReopens(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Minute)
+	b.Failure()
+	clk.advance(2 * time.Minute)
+	if !b.Allow() {
+		t.Fatal("probe refused after cooldown")
+	}
+	b.Failure()
+	if b.State() != Open {
+		t.Fatal("failed probe did not re-open the breaker")
+	}
+	if b.Allow() {
+		t.Fatal("re-opened breaker admitted traffic before a fresh cooldown")
+	}
+	clk.advance(2 * time.Minute)
+	if !b.Allow() {
+		t.Fatal("second probe refused after the fresh cooldown")
+	}
+	if got := b.Snapshot().Opens; got != 2 {
+		t.Fatalf("opens = %d, want 2", got)
+	}
+}
+
+func TestBreakerHalfOpenAdmitsExactlyOneProbe(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Second)
+	b.Failure()
+	clk.advance(2 * time.Second)
+
+	const callers = 16
+	var admitted int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if b.Allow() {
+				mu.Lock()
+				admitted++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if admitted != 1 {
+		t.Fatalf("half-open breaker admitted %d concurrent probes, want exactly 1", admitted)
+	}
+	// While the probe is in flight, further requests stay refused.
+	if b.Allow() {
+		t.Fatal("request admitted while the half-open probe was still outstanding")
+	}
+	b.Success()
+	if !b.Allow() {
+		t.Fatal("breaker did not close after the probe succeeded")
+	}
+}
+
+func TestBreakerOpenFailureReportsAreInert(t *testing.T) {
+	// A straggler that was admitted just before the trip reports its
+	// failure after the breaker is already open; that must not reset the
+	// cooldown clock or trip counters.
+	b, clk := newTestBreaker(1, time.Minute)
+	b.Failure()
+	clk.advance(30 * time.Second)
+	b.Failure() // straggler
+	clk.advance(31 * time.Second)
+	if !b.Allow() {
+		t.Fatal("straggler failure report extended the cooldown")
+	}
+	if got := b.Snapshot().Opens; got != 1 {
+		t.Fatalf("opens = %d, want 1", got)
+	}
+}
+
+func TestBreakerSetSharesAndSnapshots(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	s := NewBreakerSet(BreakerConfig{Threshold: 1, Cooldown: time.Minute, Now: clk.now})
+	if s.Get("http://b") != s.Get("http://b") {
+		t.Fatal("Get returned distinct breakers for one name")
+	}
+	s.Get("http://b").Failure()
+	s.Get("http://a").Success()
+	snaps := s.Snapshot()
+	if len(snaps) != 2 || snaps[0].Peer != "http://a" || snaps[1].Peer != "http://b" {
+		t.Fatalf("snapshot order/content wrong: %+v", snaps)
+	}
+	if snaps[0].State != "closed" || snaps[1].State != "open" {
+		t.Fatalf("states wrong: %+v", snaps)
+	}
+}

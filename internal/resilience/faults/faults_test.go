@@ -1,0 +1,213 @@
+package faults
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func mustNew(t *testing.T, spec string, seed uint64) *Transport {
+	t.Helper()
+	tr, err := New(spec, seed, nil)
+	if err != nil {
+		t.Fatalf("New(%q): %v", spec, err)
+	}
+	return tr
+}
+
+func TestSpecParseErrors(t *testing.T) {
+	for _, spec := range []string{
+		"nopattern",              // no '='
+		"=err@0.5",               // empty pattern
+		"/x=err",                 // missing probability
+		"/x=err@1.5",             // probability out of range
+		"/x=err@-0.1",            // negative probability
+		"/x=latency@0.5",         // latency needs an argument
+		"/x=latency:junk@0.5",    // bad duration
+		"/x=code:99@0.5",         // status out of range
+		"/x=code:abc@0.5",        // bad status
+		"/x=explode@0.5",         // unknown kind
+		"/x=err:arg@0.5",         // err takes no argument
+		"/x=truncate:boom@0.5",   // truncate takes no argument
+		"/x=err@0.5;bad",         // second rule malformed
+		"/x=err@0.5,corrupt:x@1", // corrupt takes no argument
+	} {
+		if _, err := New(spec, 1, nil); err == nil {
+			t.Errorf("New(%q) accepted a malformed spec", spec)
+		}
+	}
+	// Valid specs parse, including whitespace and empty segments.
+	for _, spec := range []string{
+		"",
+		"  ",
+		"/v1/cache = err@0.2 , latency:10ms@0.3 ; /v1/work = code:503@0.1",
+		";/x=err@1;",
+	} {
+		if _, err := New(spec, 1, nil); err != nil {
+			t.Errorf("New(%q): %v", spec, err)
+		}
+	}
+}
+
+func TestDeterministicSchedule(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, `{"ok":true}`)
+	}))
+	defer srv.Close()
+
+	run := func(seed uint64) []bool {
+		tr := mustNew(t, "/=err@0.5", seed)
+		client := &http.Client{Transport: tr}
+		var outcomes []bool
+		for i := 0; i < 64; i++ {
+			resp, err := client.Get(srv.URL + "/ping")
+			if err == nil {
+				resp.Body.Close()
+			}
+			outcomes = append(outcomes, err != nil)
+		}
+		return outcomes
+	}
+	a, b := run(7), run(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d: same seed diverged", i)
+		}
+	}
+	c := run(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("seeds 7 and 8 produced identical 64-request schedules")
+	}
+	var failures int
+	for _, f := range a {
+		if f {
+			failures++
+		}
+	}
+	if failures < 16 || failures > 48 {
+		t.Fatalf("err@0.5 injected %d/64 failures; schedule badly skewed", failures)
+	}
+}
+
+func TestErrNeverReachesServer(t *testing.T) {
+	var served int
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served++
+	}))
+	defer srv.Close()
+	client := &http.Client{Transport: mustNew(t, "/=err@1", 1)}
+	_, err := client.Get(srv.URL + "/x")
+	if err == nil || !strings.Contains(err.Error(), "injected transport error") {
+		t.Fatalf("err = %v, want injected transport error", err)
+	}
+	if served != 0 {
+		t.Fatal("err fault let the request reach the server")
+	}
+}
+
+func TestCodeFault(t *testing.T) {
+	var served int
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served++
+	}))
+	defer srv.Close()
+	client := &http.Client{Transport: mustNew(t, "/=code:503@1", 1)}
+	resp, err := client.Get(srv.URL + "/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 503 || served != 0 {
+		t.Fatalf("status=%d served=%d, want injected 503 with no server traffic", resp.StatusCode, served)
+	}
+}
+
+func TestTruncateAndCorruptBreakJSONDecoding(t *testing.T) {
+	payload := map[string]any{"value": 42.5, "items": []int{1, 2, 3, 4, 5, 6, 7, 8}}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(payload)
+	}))
+	defer srv.Close()
+
+	for _, kind := range []string{"truncate", "corrupt"} {
+		client := &http.Client{Transport: mustNew(t, "/="+kind+"@1", 1)}
+		resp, err := client.Get(srv.URL + "/x")
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		var out map[string]any
+		derr := json.NewDecoder(resp.Body).Decode(&out)
+		resp.Body.Close()
+		if derr == nil {
+			t.Fatalf("%s: damaged body still decoded cleanly — damage would be undetectable", kind)
+		}
+	}
+}
+
+func TestLatencyRespectsContext(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer srv.Close()
+	client := &http.Client{Transport: mustNew(t, "/=latency:1h@1", 1)}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL+"/x", nil)
+	start := time.Now()
+	_, err := client.Do(req)
+	if err == nil {
+		t.Fatal("hour-long latency fault returned without error under a 50ms ctx")
+	}
+	if !errors.Is(ctx.Err(), context.DeadlineExceeded) || time.Since(start) > 5*time.Second {
+		t.Fatalf("latency fault did not yield to ctx promptly (%v after %v)", err, time.Since(start))
+	}
+}
+
+func TestFirstMatchingRuleGoverns(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer srv.Close()
+	// /v1/work/result must match its specific rule (no faults) even
+	// though the later, broader /v1/work rule would always err.
+	tr := mustNew(t, "/v1/work/result=latency:1ms@0;/v1/work=err@1", 1)
+	client := &http.Client{Transport: tr}
+	if resp, err := client.Get(srv.URL + "/v1/work/result"); err != nil {
+		t.Fatalf("specific rule did not shield the request: %v", err)
+	} else {
+		resp.Body.Close()
+	}
+	if _, err := client.Get(srv.URL + "/v1/work/next"); err == nil {
+		t.Fatal("broad rule did not fire on its own path")
+	}
+	st := tr.Stats()
+	if st.Errors != 1 {
+		t.Fatalf("stats errors = %d, want 1", st.Errors)
+	}
+}
+
+func TestUnmatchedTrafficPassesUntouched(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	defer srv.Close()
+	tr := mustNew(t, "/v1/cache=err@1", 1)
+	client := &http.Client{Transport: tr}
+	resp, err := client.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "ok" || tr.Stats().Passed != 1 {
+		t.Fatalf("body=%q passed=%d, want untouched pass-through", body, tr.Stats().Passed)
+	}
+}
